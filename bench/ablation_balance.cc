@@ -1,0 +1,63 @@
+// Ablation A1: the storage-usage discount of Algorithm 1 step 3.
+//
+// Sigma routing with the discount disabled (pure resemblance argmax, ties
+// to candidate order) against the full algorithm, on Linux and VM at
+// several cluster sizes. The discount should cut storage skew
+// substantially while giving up little raw dedup ratio — that trade is
+// the reason EDR (which folds skew in) favors the full algorithm.
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace sigma;
+namespace bench = sigma::bench;
+
+ClusterReport run(const Dataset& trace, std::size_t nodes, bool discount) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.scheme = RoutingScheme::kSigma;
+  cfg.super_chunk_bytes = 256 * 1024;
+  cfg.router.balance_discount = discount;
+  Cluster cluster(cfg);
+  cluster.backup_dataset(trace);
+  return cluster.report();
+}
+
+void run_dataset(const Dataset& trace) {
+  const double sdr = exact_dedup_ratio(trace);
+  std::cout << "\nDataset: " << trace.name << "\n";
+  TablePrinter table({"cluster size", "EDR (discount on)",
+                      "EDR (discount off)", "skew on", "skew off",
+                      "DR on", "DR off"});
+  for (std::size_t n : {8, 32, 128}) {
+    const auto with = run(trace, n, true);
+    const auto without = run(trace, n, false);
+    auto skew = [](const ClusterReport& r) {
+      return r.usage_mean() > 0 ? r.usage_stddev() / r.usage_mean() : 0.0;
+    };
+    table.add_row({std::to_string(n),
+                   TablePrinter::fmt(with.effective_dedup_ratio() / sdr, 3),
+                   TablePrinter::fmt(without.effective_dedup_ratio() / sdr,
+                                     3),
+                   TablePrinter::fmt(skew(with), 3),
+                   TablePrinter::fmt(skew(without), 3),
+                   TablePrinter::fmt(with.dedup_ratio() / sdr, 3),
+                   TablePrinter::fmt(without.dedup_ratio() / sdr, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: load-balance discount (Algorithm 1 step 3)",
+                      "design choice in Section 3.2");
+  const double s = bench::bench_scale();
+  run_dataset(linux_dataset(0.5 * s));
+  run_dataset(vm_dataset(0.3 * s));
+  std::cout << "\nShape check: discount lowers skew at equal-or-slightly-"
+               "lower raw DR,\nnetting a higher EDR.\n";
+  return 0;
+}

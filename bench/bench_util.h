@@ -1,0 +1,52 @@
+// Shared helpers for the benchmark harnesses. Each bench binary reproduces
+// one table or figure from the paper and prints it as an aligned text
+// table, so `for b in build/bench/*; do $b; done` regenerates the whole
+// evaluation section.
+//
+// SIGMA_BENCH_SCALE (env var, default 1.0) multiplies every dataset's
+// default bench scale; absolute dataset sizes are ~1/1000 of the paper's
+// at 1.0 (ratios are structure-driven and scale-invariant).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "workload/dataset.h"
+#include "workload/generators.h"
+
+namespace sigma::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("SIGMA_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(reproduces " << paper_ref << ")\n\n";
+}
+
+/// Run one trace-driven cluster simulation and report.
+inline ClusterReport run_cluster(const Dataset& dataset, RoutingScheme scheme,
+                                 std::size_t nodes,
+                                 std::uint64_t super_chunk_bytes = 1ull << 20,
+                                 std::size_t handprint_size = 8) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.scheme = scheme;
+  cfg.super_chunk_bytes = super_chunk_bytes;
+  cfg.router.handprint_size = handprint_size;
+  cfg.node.handprint_size = handprint_size;
+  Cluster cluster(cfg);
+  cluster.backup_dataset(dataset);
+  return cluster.report();
+}
+
+}  // namespace sigma::bench

@@ -1,0 +1,80 @@
+// Fig. 1: the effect of handprinting on super-chunk resemblance detection.
+//
+// Four pair-wise file versions of different application types (Linux
+// kernel pair, DOC, PPT, HTML) are chunked with TTTD(1K,2K,4K,32K); the
+// first 8 MB of each pair forms two super-chunks. We report the real
+// (Jaccard) resemblance and the handprint-estimated resemblance as a
+// function of handprint size — the estimate approaches the real value as
+// the handprint grows, and even small handprints detect poorly similar
+// pairs that a single representative fingerprint misses.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "chunking/chunker.h"
+#include "chunking/super_chunk.h"
+#include "workload/file_pairs.h"
+
+namespace {
+
+using namespace sigma;
+
+std::vector<ChunkRecord> chunk_records(const Buffer& data,
+                                       const Chunker& chunker) {
+  std::vector<ChunkRecord> out;
+  const ByteView view{data.data(), data.size()};
+  for (const ChunkBoundary& b : chunker.chunk(view)) {
+    out.push_back({Fingerprint::of(view.subspan(b.offset, b.size)), b.size});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Handprint resemblance detection",
+                      "paper Fig. 1, Section 2.2");
+
+  const auto chunker = TttdChunker::paper_default();
+  FilePairConfig pair_cfg;
+  pair_cfg.bytes = 8ull << 20;  // the paper's 8 MB super-chunks
+  const auto pairs = fig1_file_pairs(pair_cfg);
+
+  struct PairData {
+    std::string label;
+    std::vector<ChunkRecord> a, b;
+    double real;
+  };
+  std::vector<PairData> data;
+  for (const auto& p : pairs) {
+    PairData d;
+    d.label = p.label;
+    d.a = chunk_records(p.first, chunker);
+    d.b = chunk_records(p.second, chunker);
+    d.real = jaccard_resemblance(d.a, d.b);
+    data.push_back(std::move(d));
+  }
+
+  std::vector<std::string> headers{"handprint size"};
+  for (const auto& d : data) headers.push_back(d.label);
+  TablePrinter table(headers);
+
+  for (std::size_t k : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto& d : data) {
+      const double est = handprint_resemblance(
+          compute_handprint(d.a, k), compute_handprint(d.b, k), k);
+      row.push_back(TablePrinter::fmt(est, 3));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> real_row{"real (Jaccard)"};
+  for (const auto& d : data) real_row.push_back(TablePrinter::fmt(d.real, 3));
+  table.add_row(real_row);
+
+  table.print(std::cout);
+  std::cout << "\nShape check: estimates approach the real resemblance as "
+               "the handprint grows;\npairs with resemblance < 0.5 (PPT, "
+               "HTML) are detected once k >= 4-8.\n";
+  return 0;
+}

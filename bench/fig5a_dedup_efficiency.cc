@@ -1,0 +1,96 @@
+// Fig. 5(a): single-node deduplication efficiency ("bytes saved per
+// second", Eq. 6) as a function of chunk size, for static chunking (SC)
+// and content-defined chunking (CDC) on the Linux and VM workloads.
+//
+// As in the paper, the workload lives in RAM and the unique-data store
+// step writes no payloads, isolating chunking + fingerprinting + index
+// work. Expected shape: SC beats CDC at equal chunk size (no Rabin
+// scanning cost); efficiency peaks at a workload-dependent chunk size
+// (finer chunks save more bytes but cost more hashing/metadata).
+#include <iostream>
+
+#include "bench_util.h"
+#include "node/dedup_node.h"
+
+namespace {
+
+using namespace sigma;
+
+struct Efficiency {
+  double bytes_saved_per_sec;
+  double dedup_ratio;
+};
+
+Efficiency measure(const std::vector<ContentBackup>& backups,
+                   ChunkingScheme scheme, std::uint32_t chunk_size) {
+  const auto chunker = make_chunker(scheme, chunk_size);
+
+  DedupNodeConfig node_cfg;
+  node_cfg.cache_capacity_containers = 512;
+  DedupNode node(0, node_cfg);
+
+  Stopwatch timer;
+  std::uint64_t logical = 0;
+  for (const auto& backup : backups) {
+    // Client pipeline: chunk + fingerprint + batch-dedup, super-chunks of
+    // 1 MB, no payload store.
+    SuperChunk sc;
+    std::uint64_t sc_bytes = 0;
+    auto flush = [&] {
+      if (!sc.chunks.empty()) {
+        node.write_super_chunk(0, sc);
+        sc = SuperChunk{};
+        sc_bytes = 0;
+      }
+    };
+    for (const auto& file : backup.files) {
+      const ByteView data{file.data.data(), file.data.size()};
+      for (const ChunkBoundary& b : chunker->chunk(data)) {
+        sc.chunks.push_back(
+            {Fingerprint::of(data.subspan(b.offset, b.size)), b.size});
+        logical += b.size;
+        sc_bytes += b.size;
+        if (sc_bytes >= (1u << 20)) flush();
+      }
+    }
+    flush();
+  }
+  const double elapsed = timer.seconds();
+  const std::uint64_t physical = node.stored_bytes();
+  return {static_cast<double>(logical - physical) / elapsed,
+          static_cast<double>(logical) / static_cast<double>(physical)};
+}
+
+}  // namespace
+
+int main() {
+  namespace bench = sigma::bench;
+  bench::print_header("Single-node deduplication efficiency vs chunk size",
+                      "paper Fig. 5(a)");
+  const double scale = 0.12 * bench::bench_scale();
+
+  const auto linux_backups =
+      LinuxGenerator(LinuxWorkloadConfig::scaled(scale)).content();
+  const auto vm_backups =
+      VmGenerator(VmWorkloadConfig::scaled(scale)).content();
+
+  TablePrinter table({"chunk size", "Linux SC (MB saved/s)",
+                      "Linux CDC (MB saved/s)", "VM SC (MB saved/s)",
+                      "VM CDC (MB saved/s)"});
+  for (std::uint32_t chunk_size : {2048u, 4096u, 8192u, 16384u, 32768u}) {
+    auto mb = [](const Efficiency& e) {
+      return TablePrinter::fmt(e.bytes_saved_per_sec / (1 << 20), 1);
+    };
+    table.add_row(
+        {std::to_string(chunk_size / 1024) + "KB",
+         mb(measure(linux_backups, ChunkingScheme::kStatic, chunk_size)),
+         mb(measure(linux_backups, ChunkingScheme::kCdc, chunk_size)),
+         mb(measure(vm_backups, ChunkingScheme::kStatic, chunk_size)),
+         mb(measure(vm_backups, ChunkingScheme::kCdc, chunk_size))});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: SC > CDC throughout (CDC pays the Rabin "
+               "scan); the paper's peak\nis at 4KB (Linux/SC) and 8KB "
+               "(VM/SC).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 5(b): deduplication effectiveness of similarity-index-only
+// (approximate) intra-node deduplication, as a function of the
+// handprint-sampling rate and the super-chunk size, on the Linux workload.
+// Values are normalized to the exact single-node dedup ratio at SC-4KB.
+//
+// Paper shape: the ratio falls as the sampling rate decreases and as the
+// super-chunk shrinks; halving the rate while doubling the super-chunk
+// size keeps it roughly constant; the 16 MB / (1/512) knee (handprint
+// size 8) retains ~90% of exact dedup with 1/32 the index RAM.
+#include <iostream>
+
+#include "bench_util.h"
+#include "node/dedup_node.h"
+
+namespace {
+
+using namespace sigma;
+
+double normalized_ratio(const Dataset& trace, std::uint64_t sc_bytes,
+                        double sampling_rate, double exact_dr) {
+  const auto chunks_per_sc = static_cast<double>(sc_bytes) / 4096.0;
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(chunks_per_sc * sampling_rate));
+
+  DedupNodeConfig cfg;
+  cfg.use_disk_index = false;  // similarity-index-only dedup
+  cfg.handprint_size = k;
+  cfg.cache_capacity_containers = 4096;
+  // Containers scale with the dataset: the paper's 4 MB containers over a
+  // 160 GB dataset mean tens of thousands of containers; at bench scale we
+  // shrink the container so the container count (and therefore the
+  // coverage a handprint's prefetch can reach) is comparably realistic.
+  cfg.container_capacity_bytes = 256 * 1024;
+  DedupNode node(0, cfg);
+
+  for (const auto& backup : trace.backups) {
+    SuperChunkBuilder builder(sc_bytes);
+    auto flush = [&](SuperChunk&& sc) {
+      if (!sc.chunks.empty()) node.write_super_chunk(0, sc);
+    };
+    for (const auto& file : backup.files) {
+      for (const auto& chunk : file.chunks) {
+        if (builder.add(chunk)) flush(builder.take());
+      }
+    }
+    flush(builder.flush());
+  }
+  return node.stats().dedup_ratio() / exact_dr;
+}
+
+}  // namespace
+
+int main() {
+  namespace bench = sigma::bench;
+  bench::print_header(
+      "Approximate (similarity-index-only) dedup vs sampling rate",
+      "paper Fig. 5(b)");
+  const double scale = 0.25 * bench::bench_scale();
+
+  const Dataset trace = linux_dataset(scale);
+  const double exact_dr = exact_dedup_ratio(trace);
+  std::cout << "Linux trace: " << format_bytes(trace.logical_bytes())
+            << ", exact dedup ratio " << TablePrinter::fmt(exact_dr) << "\n\n";
+
+  const std::vector<std::uint64_t> sc_sizes{1ull << 20, 2ull << 20,
+                                            4ull << 20, 8ull << 20,
+                                            16ull << 20};
+  TablePrinter table({"sampling rate", "SC 1MB", "SC 2MB", "SC 4MB",
+                      "SC 8MB", "SC 16MB"});
+  for (int denom : {16, 32, 64, 128, 256, 512, 1024, 2048}) {
+    std::vector<std::string> row{"1/" + std::to_string(denom)};
+    for (std::uint64_t sc : sc_sizes) {
+      row.push_back(TablePrinter::fmt(
+          normalized_ratio(trace, sc, 1.0 / denom, exact_dr), 3));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: ratio falls with lower sampling rate and "
+               "smaller super-chunks;\nroughly constant along (rate/2, "
+               "size*2) diagonals; 1MB @ 1/32 (handprint 8)\nretains "
+               "~90% of exact dedup.\n";
+  return 0;
+}

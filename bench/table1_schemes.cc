@@ -1,0 +1,78 @@
+// Table 1 (measured counterpart): the paper's qualitative comparison of
+// cluster deduplication schemes, regenerated quantitatively from the
+// simulator on the Linux workload at 32 nodes.
+//
+//   deduplication ratio  -> normalized EDR
+//   throughput           -> fingerprint-lookup messages per chunk (lower
+//                           is better; lookups are the intra-node
+//                           bottleneck) and routing granularity
+//   data skew            -> sigma/alpha of per-node storage usage
+//   overhead             -> pre-routing messages per chunk
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sigma;
+  namespace bench = sigma::bench;
+  bench::print_header("Scheme comparison (measured)", "paper Table 1");
+  const double scale = 2.0 * bench::bench_scale();
+  constexpr std::size_t kNodes = 32;
+
+  // HYDRAstor-style chunk DHT routes (and deduplicates) at much larger
+  // chunks — 64 KB in the original system — so its row uses a 64 KB trace
+  // of the same content; every other scheme sees the standard 4 KB trace.
+  const auto content =
+      LinuxGenerator(LinuxWorkloadConfig::scaled(scale)).content();
+  const FixedChunker sc4(4096), sc64(64 * 1024);
+  const Dataset trace = materialize_dataset("Linux", content, sc4);
+  const Dataset trace64 = materialize_dataset("Linux-64KB", content, sc64);
+  const double sdr = exact_dedup_ratio(trace);
+  std::cout << "Linux trace, " << kNodes << " nodes, single-node DR "
+            << TablePrinter::fmt(sdr) << " (4KB chunks)\n\n";
+
+  TablePrinter table({"Scheme", "Granularity", "Norm. EDR", "Skew (s/a)",
+                      "Pre-msgs/chunk", "Total msgs/chunk",
+                      "paper says"});
+
+  struct Row {
+    RoutingScheme scheme;
+    const char* granularity;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {RoutingScheme::kChunkDht, "chunk", "ratio:Med thpt:Low skew:Low"},
+      {RoutingScheme::kExtremeBinning, "file",
+       "ratio:Med thpt:High skew:Med"},
+      {RoutingScheme::kStateless, "super-chunk",
+       "ratio:Med thpt:High skew:Med"},
+      {RoutingScheme::kStateful, "super-chunk",
+       "ratio:High thpt:Low skew:Low"},
+      {RoutingScheme::kSigma, "super-chunk",
+       "ratio:High thpt:High skew:Low"},
+  };
+
+  for (const Row& r : rows) {
+    const bool dht = r.scheme == RoutingScheme::kChunkDht;
+    const Dataset& input = dht ? trace64 : trace;
+    const double chunks = static_cast<double>(input.chunk_count());
+    const auto report = bench::run_cluster(input, r.scheme, kNodes);
+    const double skew =
+        report.usage_mean() > 0 ? report.usage_stddev() / report.usage_mean()
+                                : 0.0;
+    table.add_row({to_string(r.scheme), r.granularity,
+                   TablePrinter::fmt(report.effective_dedup_ratio() / sdr, 3),
+                   TablePrinter::fmt(skew, 3),
+                   TablePrinter::fmt(
+                       static_cast<double>(report.messages.pre_routing) /
+                           chunks, 3),
+                   TablePrinter::fmt(
+                       static_cast<double>(report.messages.total()) / chunks,
+                       3),
+                   r.paper});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: Sigma pairs Stateful's EDR with "
+               "Stateless-like message counts\nand low skew.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Incremental-forever backups: a week of nightly sessions of an evolving
+// home directory, then bit-exact restore of every file from every night.
+//
+//   $ ./backup_restore
+//
+// Demonstrates the paper's headline benefit for backup workloads: after
+// night one, each session transfers only the changed bytes, while every
+// historical session remains independently restorable through its file
+// recipes.
+#include <iostream>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/sigma_dedupe.h"
+
+namespace {
+
+using namespace sigma;
+
+Buffer make_random_buffer(std::size_t n, Rng& rng) {
+  Buffer out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+// Mutate ~2% of the file in a few contiguous runs (document edits).
+void edit(Buffer& data, Rng& rng) {
+  if (data.empty()) return;
+  for (int run = 0; run < 3; ++run) {
+    const std::size_t start = rng.next_below(data.size());
+    const std::size_t len =
+        std::min<std::size_t>(data.size() - start, data.size() / 150 + 16);
+    for (std::size_t i = start; i < start + len; ++i) {
+      data[i] = static_cast<std::uint8_t>(rng.next());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  MiddlewareConfig config;
+  config.num_nodes = 8;
+  SigmaDedupe dedupe(config);
+  Rng rng(2026);
+
+  // The "home directory".
+  std::vector<ContentFile> files;
+  for (int i = 0; i < 12; ++i) {
+    files.push_back({"docs/file_" + std::to_string(i) + ".bin",
+                     make_random_buffer(80000 + 4096 * static_cast<std::size_t>(i),
+                                 rng)});
+  }
+
+  // Keep a copy of every night's state to verify restores later.
+  std::vector<std::vector<ContentFile>> history;
+
+  std::cout << "night  logical      transferred  dedup-ratio\n";
+  for (int night = 1; night <= 7; ++night) {
+    if (night > 1) {
+      for (auto& f : files) {
+        if (rng.chance(0.4)) edit(f.data, rng);
+      }
+    }
+    history.push_back(files);
+    const std::string session = "night-" + std::to_string(night);
+    const BackupSummary s = dedupe.backup(session, files);
+    std::cout << night << "      " << format_bytes(s.logical_bytes)
+              << "     " << format_bytes(s.transferred_bytes) << "      "
+              << TablePrinter::fmt(dedupe.report().dedup_ratio()) << "x\n";
+  }
+
+  // Restore every file of every night and verify bit-exactness.
+  std::size_t verified = 0;
+  for (std::size_t night = 0; night < history.size(); ++night) {
+    const std::string session = "night-" + std::to_string(night + 1);
+    for (const auto& f : history[night]) {
+      if (dedupe.restore(session, f.path) != f.data) {
+        std::cerr << "MISMATCH: " << session << " " << f.path << "\n";
+        return 1;
+      }
+      ++verified;
+    }
+  }
+  std::cout << "\nrestored and verified " << verified
+            << " file versions bit-exactly\n";
+
+  const auto report = dedupe.report();
+  std::cout << "cluster physical: " << format_bytes(report.physical_bytes)
+            << " for " << format_bytes(report.logical_bytes)
+            << " logical\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: back up files to a 4-node Sigma-Dedupe cluster, restore one,
+// and inspect the cluster report.
+//
+//   $ ./quickstart
+//
+// This exercises the complete middleware path: client-side chunking and
+// SHA-1 fingerprinting, handprint-based stateful routing of 1 MB
+// super-chunks, similarity-indexed deduplication on each node, container
+// storage, file recipes and restore.
+#include <iostream>
+#include <string>
+
+#include "common/stats.h"
+#include "core/sigma_dedupe.h"
+
+int main() {
+  using namespace sigma;
+
+  // 1. Configure the middleware: 4 deduplication nodes, Sigma routing.
+  MiddlewareConfig config;
+  config.num_nodes = 4;
+  config.routing = RoutingScheme::kSigma;
+  config.client.chunking = ChunkingScheme::kStatic;
+  config.client.chunk_bytes = 4096;
+  config.client.super_chunk_bytes = 64 * 1024;  // small demo: spread super-chunks
+  SigmaDedupe dedupe(config);
+
+  // 2. Invent some files. Real applications pass their own bytes.
+  auto make_file = [](const std::string& path, std::size_t size,
+                      char fill) {
+    ContentFile f;
+    f.path = path;
+    f.data.assign(size, static_cast<std::uint8_t>(fill));
+    for (std::size_t i = 0; i < f.data.size(); i += 97) {
+      f.data[i] = static_cast<std::uint8_t>(i);  // some variety
+    }
+    return f;
+  };
+  std::vector<ContentFile> monday{
+      make_file("home/alice/report.doc", 300000, 'a'),
+      make_file("home/alice/data.csv", 150000, 'b'),
+  };
+
+  // 3. First backup: everything is new.
+  const BackupSummary s1 = dedupe.backup("monday", monday);
+  std::cout << "monday : logical " << format_bytes(s1.logical_bytes)
+            << ", transferred " << format_bytes(s1.transferred_bytes)
+            << " (" << s1.chunk_count << " chunks, "
+            << s1.super_chunk_count << " super-chunks)\n";
+
+  // 4. Second backup of the same data: source dedup sends nothing.
+  const BackupSummary s2 = dedupe.backup("tuesday", monday);
+  std::cout << "tuesday: logical " << format_bytes(s2.logical_bytes)
+            << ", transferred " << format_bytes(s2.transferred_bytes)
+            << "  <- duplicates never cross the wire\n";
+
+  // 5. Restore and verify.
+  const Buffer restored = dedupe.restore("monday", "home/alice/report.doc");
+  std::cout << "restore: " << format_bytes(restored.size()) << " -> "
+            << (restored == monday[0].data ? "bit-exact" : "MISMATCH")
+            << "\n";
+
+  // 6. Cluster-wide report.
+  const ClusterReport report = dedupe.report();
+  std::cout << "\ncluster: dedup ratio "
+            << TablePrinter::fmt(report.dedup_ratio()) << "x, "
+            << format_bytes(report.physical_bytes) << " physical across "
+            << report.node_usage.size() << " nodes (skew s/a = "
+            << TablePrinter::fmt(
+                   report.usage_stddev() / report.usage_mean(), 3)
+            << ")\n";
+  std::cout << "messages: " << report.messages.pre_routing
+            << " pre-routing + " << report.messages.after_routing
+            << " duplicate-test fingerprint lookups\n";
+  return 0;
+}

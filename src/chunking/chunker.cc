@@ -1,0 +1,189 @@
+#include "chunking/chunker.h"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+#include "chunking/rabin.h"
+
+namespace sigma {
+namespace {
+
+void check_power_of_two(std::uint32_t v, const char* what) {
+  if (v == 0 || !std::has_single_bit(v)) {
+    throw std::invalid_argument(std::string(what) +
+                                " must be a power of two");
+  }
+}
+
+std::string size_label(std::uint32_t bytes) {
+  std::ostringstream os;
+  if (bytes % 1024 == 0) {
+    os << bytes / 1024 << "KB";
+  } else {
+    os << bytes << "B";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+FixedChunker::FixedChunker(std::uint32_t chunk_size)
+    : chunk_size_(chunk_size) {
+  if (chunk_size_ == 0) {
+    throw std::invalid_argument("FixedChunker: chunk size must be > 0");
+  }
+}
+
+std::vector<ChunkBoundary> FixedChunker::chunk(ByteView data) const {
+  std::vector<ChunkBoundary> out;
+  out.reserve(data.size() / chunk_size_ + 1);
+  std::uint64_t offset = 0;
+  while (offset < data.size()) {
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(chunk_size_, data.size() - offset));
+    out.push_back({offset, size});
+    offset += size;
+  }
+  return out;
+}
+
+std::string FixedChunker::name() const {
+  return "SC-" + size_label(chunk_size_);
+}
+
+CdcChunker::CdcChunker(std::uint32_t min_size, std::uint32_t avg_size,
+                       std::uint32_t max_size)
+    : min_size_(min_size), avg_size_(avg_size), max_size_(max_size) {
+  check_power_of_two(avg_size, "CdcChunker: avg size");
+  if (min_size == 0 || min_size > avg_size || avg_size > max_size) {
+    throw std::invalid_argument("CdcChunker: need 0 < min <= avg <= max");
+  }
+  mask_ = avg_size_ - 1;
+}
+
+CdcChunker CdcChunker::with_average(std::uint32_t avg_size) {
+  return CdcChunker(avg_size / 4, avg_size, avg_size * 4);
+}
+
+std::vector<ChunkBoundary> CdcChunker::chunk(ByteView data) const {
+  // The boundary condition compares the masked hash to a fixed magic value;
+  // any constant works, but a non-zero magic avoids degenerate behaviour on
+  // all-zero data (where the rolling hash stays 0).
+  constexpr std::uint64_t kMagic = 0x78;
+
+  std::vector<ChunkBoundary> out;
+  out.reserve(data.size() / avg_size_ + 1);
+
+  RabinHash rabin;
+  std::uint64_t start = 0;
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t h = rabin.roll(data[pos]);
+    ++pos;
+    const std::uint64_t len = pos - start;
+    const bool at_boundary =
+        len >= min_size_ && (h & mask_) == (kMagic & mask_);
+    if (at_boundary || len >= max_size_) {
+      out.push_back({start, static_cast<std::uint32_t>(len)});
+      start = pos;
+      rabin.reset();
+    }
+  }
+  if (start < data.size()) {
+    out.push_back({start, static_cast<std::uint32_t>(data.size() - start)});
+  }
+  return out;
+}
+
+std::string CdcChunker::name() const {
+  return "CDC-" + size_label(avg_size_);
+}
+
+TttdChunker::TttdChunker(std::uint32_t min_size, std::uint32_t minor_mean,
+                         std::uint32_t major_mean, std::uint32_t max_size)
+    : min_size_(min_size), max_size_(max_size) {
+  check_power_of_two(minor_mean, "TttdChunker: minor mean");
+  check_power_of_two(major_mean, "TttdChunker: major mean");
+  if (!(min_size > 0 && min_size <= minor_mean && minor_mean <= major_mean &&
+        major_mean <= max_size)) {
+    throw std::invalid_argument(
+        "TttdChunker: need 0 < min <= minor <= major <= max");
+  }
+  major_mask_ = major_mean - 1;
+  minor_mask_ = minor_mean - 1;
+}
+
+TttdChunker TttdChunker::paper_default() {
+  return TttdChunker(1024, 2048, 4096, 32768);
+}
+
+std::vector<ChunkBoundary> TttdChunker::chunk(ByteView data) const {
+  constexpr std::uint64_t kMagic = 0x78;
+
+  std::vector<ChunkBoundary> out;
+  RabinHash rabin;
+  std::uint64_t start = 0;
+  std::uint64_t pos = 0;
+  std::uint64_t backup_len = 0;  // last minor-divisor match in this chunk
+
+  while (pos < data.size()) {
+    const std::uint64_t h = rabin.roll(data[pos]);
+    ++pos;
+    const std::uint64_t len = pos - start;
+    if (len < min_size_) continue;
+
+    if ((h & major_mask_) == (kMagic & major_mask_)) {
+      out.push_back({start, static_cast<std::uint32_t>(len)});
+      start = pos;
+      backup_len = 0;
+      rabin.reset();
+      continue;
+    }
+    if ((h & minor_mask_) == (kMagic & minor_mask_)) {
+      backup_len = len;  // remember as fallback cut point
+    }
+    if (len >= max_size_) {
+      const std::uint64_t cut = backup_len > 0 ? backup_len : len;
+      out.push_back({start, static_cast<std::uint32_t>(cut)});
+      start += cut;
+      pos = start;
+      backup_len = 0;
+      rabin.reset();
+    }
+  }
+  if (start < data.size()) {
+    out.push_back({start, static_cast<std::uint32_t>(data.size() - start)});
+  }
+  return out;
+}
+
+std::string TttdChunker::name() const { return "TTTD"; }
+
+std::unique_ptr<Chunker> make_chunker(ChunkingScheme scheme,
+                                      std::uint32_t avg_chunk_size) {
+  switch (scheme) {
+    case ChunkingScheme::kStatic:
+      return std::make_unique<FixedChunker>(avg_chunk_size);
+    case ChunkingScheme::kCdc:
+      return std::make_unique<CdcChunker>(
+          CdcChunker::with_average(avg_chunk_size));
+    case ChunkingScheme::kTttd:
+      return std::make_unique<TttdChunker>(TttdChunker::paper_default());
+  }
+  throw std::invalid_argument("make_chunker: unknown scheme");
+}
+
+const char* to_string(ChunkingScheme scheme) {
+  switch (scheme) {
+    case ChunkingScheme::kStatic:
+      return "SC";
+    case ChunkingScheme::kCdc:
+      return "CDC";
+    case ChunkingScheme::kTttd:
+      return "TTTD";
+  }
+  return "?";
+}
+
+}  // namespace sigma

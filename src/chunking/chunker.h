@@ -1,0 +1,114 @@
+// Data-partitioning module of the backup client (paper Section 3.1):
+// splits a data object into chunks. Three algorithms, all used by the
+// paper's evaluation:
+//   * Static chunking (SC)       — fixed-size blocks; default 4 KB.
+//   * Basic CDC                  — Rabin rolling hash, boundary when the
+//                                  hash matches a divisor mask.
+//   * TTTD                       — Two-Threshold Two-Divisor CDC [Eshghi05]
+//                                  with (min, minor mean, major mean, max) =
+//                                  (1K, 2K, 4K, 32K) by default, the exact
+//                                  parameters of the paper's Section 2.2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sigma {
+
+/// Half-open byte range [offset, offset + size) of a chunk within its file.
+struct ChunkBoundary {
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;
+
+  friend bool operator==(const ChunkBoundary&, const ChunkBoundary&) =
+      default;
+};
+
+/// Chunking algorithm interface. Implementations are stateless across
+/// calls: each chunk() invocation partitions one complete data object.
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  /// Partition `data` into consecutive chunks covering every byte.
+  /// Postcondition: boundaries are contiguous, non-empty (unless data is
+  /// empty), and sizes sum to data.size().
+  virtual std::vector<ChunkBoundary> chunk(ByteView data) const = 0;
+
+  /// Human-readable name for reports ("SC-4KB", "CDC-4KB", "TTTD").
+  virtual std::string name() const = 0;
+};
+
+/// Fixed-size (static) chunking.
+class FixedChunker final : public Chunker {
+ public:
+  explicit FixedChunker(std::uint32_t chunk_size);
+
+  std::vector<ChunkBoundary> chunk(ByteView data) const override;
+  std::string name() const override;
+
+  std::uint32_t chunk_size() const { return chunk_size_; }
+
+ private:
+  std::uint32_t chunk_size_;
+};
+
+/// Basic content-defined chunking with a Rabin rolling hash.
+/// A boundary is declared when (hash & (avg-1)) == magic, subject to
+/// min/max chunk-size clamps. avg must be a power of two.
+class CdcChunker final : public Chunker {
+ public:
+  CdcChunker(std::uint32_t min_size, std::uint32_t avg_size,
+             std::uint32_t max_size);
+
+  /// Paper-style convenience: average size s, min s/4, max 4s.
+  static CdcChunker with_average(std::uint32_t avg_size);
+
+  std::vector<ChunkBoundary> chunk(ByteView data) const override;
+  std::string name() const override;
+
+  std::uint32_t avg_size() const { return avg_size_; }
+
+ private:
+  std::uint32_t min_size_;
+  std::uint32_t avg_size_;
+  std::uint32_t max_size_;
+  std::uint64_t mask_;
+};
+
+/// Two-Threshold Two-Divisor chunking. Uses a main divisor D (major mean)
+/// and a backup divisor D' (minor mean). If no D-boundary appears before
+/// the max threshold, the last D'-boundary seen is used; failing that, a
+/// hard cut at max.
+class TttdChunker final : public Chunker {
+ public:
+  TttdChunker(std::uint32_t min_size, std::uint32_t minor_mean,
+              std::uint32_t major_mean, std::uint32_t max_size);
+
+  /// The paper's parameters: (1 KB, 2 KB, 4 KB, 32 KB).
+  static TttdChunker paper_default();
+
+  std::vector<ChunkBoundary> chunk(ByteView data) const override;
+  std::string name() const override;
+
+ private:
+  std::uint32_t min_size_;
+  std::uint32_t max_size_;
+  std::uint64_t major_mask_;
+  std::uint64_t minor_mask_;
+};
+
+/// Selector used by configs and the facade API.
+enum class ChunkingScheme { kStatic, kCdc, kTttd };
+
+/// Factory for the scheme/size combinations exercised in the evaluation.
+std::unique_ptr<Chunker> make_chunker(ChunkingScheme scheme,
+                                      std::uint32_t avg_chunk_size);
+
+const char* to_string(ChunkingScheme scheme);
+
+}  // namespace sigma

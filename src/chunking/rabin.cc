@@ -1,0 +1,99 @@
+#include "chunking/rabin.h"
+
+namespace sigma {
+namespace {
+
+constexpr int kDegree = 53;
+constexpr std::uint64_t kMask = (1ull << kDegree) - 1;
+
+// Reduce a polynomial of degree <= 60 modulo kPolynomial.
+constexpr std::uint64_t reduce(std::uint64_t v) {
+  for (int bit = 60; bit >= kDegree; --bit) {
+    if (v & (1ull << bit)) {
+      v ^= RabinHash::kPolynomial << (bit - kDegree);
+    }
+  }
+  return v;
+}
+
+struct Tables {
+  // append_table[t] = (t * x^53) mod P, for the 8 bits shifted past the
+  // modulus on a one-byte append.
+  std::array<std::uint64_t, 256> append;
+  // out_table[b] = (b * x^{8*(W-1)}) mod P: the residue contributed by the
+  // window's oldest byte, XORed out before the shift.
+  std::array<std::uint64_t, 256> out;
+
+  Tables() {
+    for (int t = 0; t < 256; ++t) {
+      append[static_cast<std::size_t>(t)] =
+          reduce(static_cast<std::uint64_t>(t) << kDegree);
+    }
+    for (int b = 0; b < 256; ++b) {
+      std::uint64_t h = static_cast<std::uint64_t>(b);
+      for (std::size_t i = 0; i + 1 < RabinHash::kWindowSize; ++i) {
+        h = rabin_detail::append_byte_reference(h, 0);
+      }
+      out[static_cast<std::size_t>(b)] = h;
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+// Table-driven one-byte append: h must be < 2^53.
+inline std::uint64_t append_byte(std::uint64_t h, std::uint8_t b) {
+  const std::uint64_t shifted = (h << 8) | b;
+  return (shifted & kMask) ^ tables().append[shifted >> kDegree];
+}
+
+}  // namespace
+
+namespace rabin_detail {
+
+std::uint64_t append_byte_reference(std::uint64_t hash, std::uint8_t byte) {
+  for (int i = 7; i >= 0; --i) {
+    hash = (hash << 1) | ((byte >> i) & 1u);
+    if (hash & (1ull << kDegree)) hash ^= RabinHash::kPolynomial;
+  }
+  return hash;
+}
+
+}  // namespace rabin_detail
+
+RabinHash::RabinHash() {
+  (void)tables();  // force table construction before first roll
+}
+
+void RabinHash::reset() {
+  hash_ = 0;
+  window_.fill(0);
+  pos_ = 0;
+  filled_ = 0;
+}
+
+std::uint64_t RabinHash::roll(std::uint8_t in) {
+  if (filled_ == kWindowSize) {
+    const std::uint8_t out = window_[pos_];
+    hash_ ^= tables().out[out];
+  } else {
+    ++filled_;
+  }
+  window_[pos_] = in;
+  pos_ = (pos_ + 1) % kWindowSize;
+  hash_ = append_byte(hash_, in);
+  return hash_;
+}
+
+std::uint64_t RabinHash::hash_bytes(ByteView data) {
+  std::uint64_t h = 0;
+  for (std::uint8_t b : data) {
+    h = rabin_detail::append_byte_reference(h, b);
+  }
+  return h;
+}
+
+}  // namespace sigma

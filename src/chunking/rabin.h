@@ -1,0 +1,59 @@
+// Rabin fingerprinting over GF(2): the rolling hash that drives content-
+// defined chunking (CDC and TTTD). The paper's prototype bases its CDC on
+// the Rabin-hash chunker from Cumulus; this is an independent from-scratch
+// implementation of the same classic scheme (irreducible polynomial, sliding
+// window, table-driven update).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sigma {
+
+/// Rolling Rabin hash over a fixed-size byte window.
+///
+/// The hash value is the residue of the window's polynomial (bytes as
+/// coefficients of x^8k) modulo an irreducible degree-53 polynomial, so the
+/// value always fits in 53 bits.
+class RabinHash {
+ public:
+  /// Sliding window width in bytes. 48 is the classic LBFS choice.
+  static constexpr std::size_t kWindowSize = 48;
+
+  /// Irreducible polynomial of degree 53 (LBFS poly).
+  static constexpr std::uint64_t kPolynomial = 0x3DA3358B4DC173ull;
+
+  RabinHash();
+
+  /// Slide one byte into the window (and the oldest byte out once the
+  /// window is full). Returns the updated hash value.
+  std::uint64_t roll(std::uint8_t in);
+
+  std::uint64_t value() const { return hash_; }
+
+  /// Clear the window, e.g. at a chunk boundary. Resetting at boundaries
+  /// makes chunking decisions independent across chunks, which is what
+  /// TTTD expects.
+  void reset();
+
+  /// Hash an entire buffer in one shot (non-rolling); used by tests to
+  /// cross-check the table-driven path against the reference path.
+  static std::uint64_t hash_bytes(ByteView data);
+
+ private:
+  std::uint64_t hash_ = 0;
+  std::array<std::uint8_t, kWindowSize> window_{};
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+};
+
+namespace rabin_detail {
+
+/// Reference (bitwise) polynomial append of one byte; exposed for tests.
+std::uint64_t append_byte_reference(std::uint64_t hash, std::uint8_t byte);
+
+}  // namespace rabin_detail
+
+}  // namespace sigma

@@ -1,0 +1,117 @@
+#include "chunking/super_chunk.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sigma {
+
+Handprint compute_handprint(const std::vector<ChunkRecord>& chunks,
+                            std::size_t k) {
+  if (k == 0) throw std::invalid_argument("handprint size must be > 0");
+
+  // Collect distinct fingerprints, then pick the k smallest. Chunk lists
+  // are short (a 1 MB super-chunk of 4 KB chunks has 256 entries), so a
+  // sort of the distinct set is cheaper than a heap in practice.
+  std::vector<Fingerprint> distinct;
+  distinct.reserve(chunks.size());
+  for (const auto& c : chunks) distinct.push_back(c.fp);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.size() > k) distinct.resize(k);
+  return distinct;
+}
+
+double jaccard_resemblance(const std::vector<ChunkRecord>& a,
+                           const std::vector<ChunkRecord>& b) {
+  std::unordered_set<Fingerprint> set_a;
+  set_a.reserve(a.size());
+  for (const auto& c : a) set_a.insert(c.fp);
+  std::unordered_set<Fingerprint> set_b;
+  set_b.reserve(b.size());
+  for (const auto& c : b) set_b.insert(c.fp);
+
+  std::size_t intersection = 0;
+  for (const auto& fp : set_a) {
+    if (set_b.contains(fp)) ++intersection;
+  }
+  const std::size_t uni = set_a.size() + set_b.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) /
+                              static_cast<double>(uni);
+}
+
+std::size_t handprint_overlap(const Handprint& a, const Handprint& b) {
+  // Handprints are sorted; merge-count the intersection.
+  std::size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+double handprint_resemblance(const Handprint& a, const Handprint& b,
+                             std::size_t k) {
+  if (k == 0) throw std::invalid_argument("handprint size must be > 0");
+  return static_cast<double>(handprint_overlap(a, b)) /
+         static_cast<double>(k);
+}
+
+SuperChunkBuilder::SuperChunkBuilder(std::uint64_t target_size)
+    : target_size_(target_size) {
+  if (target_size_ == 0) {
+    throw std::invalid_argument("SuperChunkBuilder: target size must be > 0");
+  }
+}
+
+bool SuperChunkBuilder::add(const ChunkRecord& chunk) {
+  if (ready_) {
+    throw std::logic_error(
+        "SuperChunkBuilder: take() the completed super-chunk before add()");
+  }
+  current_.chunks.push_back(chunk);
+  current_bytes_ += chunk.size;
+  if (current_bytes_ >= target_size_) ready_ = true;
+  return ready_;
+}
+
+SuperChunk SuperChunkBuilder::take() {
+  if (!ready_) {
+    throw std::logic_error("SuperChunkBuilder: no completed super-chunk");
+  }
+  SuperChunk out = std::move(current_);
+  current_ = SuperChunk{};
+  current_bytes_ = 0;
+  ready_ = false;
+  return out;
+}
+
+SuperChunk SuperChunkBuilder::flush() {
+  SuperChunk out = std::move(current_);
+  current_ = SuperChunk{};
+  current_bytes_ = 0;
+  ready_ = false;
+  return out;
+}
+
+std::vector<SuperChunk> build_super_chunks(
+    const std::vector<ChunkRecord>& chunks, std::uint64_t target_size) {
+  SuperChunkBuilder builder(target_size);
+  std::vector<SuperChunk> out;
+  for (const auto& c : chunks) {
+    if (builder.add(c)) out.push_back(builder.take());
+  }
+  SuperChunk tail = builder.flush();
+  if (!tail.chunks.empty()) out.push_back(std::move(tail));
+  return out;
+}
+
+}  // namespace sigma

@@ -1,0 +1,96 @@
+// Super-chunks and handprints (paper Sections 2.2 and 3.2).
+//
+// A super-chunk groups consecutive chunks of one data stream and is the
+// granularity of data routing: routing at this coarse grain preserves
+// locality inside a node, while deduplication stays chunk-grained. Its
+// *handprint* is the set of its k smallest chunk fingerprints — a
+// deterministic sample that, by the generalization of Broder's theorem
+// (Eq. 5), detects super-chunk resemblance with probability
+// >= 1 - (1 - r)^k for true Jaccard resemblance r.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace sigma {
+
+/// One chunk as seen by the routing/index layers: fingerprint + size.
+/// (Payload bytes travel separately and only for unique chunks.)
+struct ChunkRecord {
+  Fingerprint fp;
+  std::uint32_t size = 0;
+
+  friend bool operator==(const ChunkRecord&, const ChunkRecord&) = default;
+};
+
+/// A routed unit: consecutive chunks of one stream.
+struct SuperChunk {
+  std::vector<ChunkRecord> chunks;
+
+  std::uint64_t logical_size() const {
+    std::uint64_t total = 0;
+    for (const auto& c : chunks) total += c.size;
+    return total;
+  }
+};
+
+/// A handprint: the k smallest *distinct* chunk fingerprints of a
+/// super-chunk, sorted ascending. If the super-chunk has fewer than k
+/// distinct fingerprints, the handprint is correspondingly shorter.
+using Handprint = std::vector<Fingerprint>;
+
+/// Compute the handprint of a chunk-fingerprint list.
+Handprint compute_handprint(const std::vector<ChunkRecord>& chunks,
+                            std::size_t k);
+
+/// Exact Jaccard resemblance |A ∩ B| / |A ∪ B| over the *distinct*
+/// fingerprint sets of two super-chunks (Eq. 1).
+double jaccard_resemblance(const std::vector<ChunkRecord>& a,
+                           const std::vector<ChunkRecord>& b);
+
+/// Estimated resemblance from handprints: |HA ∩ HB| / k, the estimator
+/// evaluated in the paper's Fig. 1.
+double handprint_resemblance(const Handprint& a, const Handprint& b,
+                             std::size_t k);
+
+/// Count of common representative fingerprints (the "r_i" values returned
+/// by candidate nodes in Algorithm 1 step 2).
+std::size_t handprint_overlap(const Handprint& a, const Handprint& b);
+
+/// Groups a stream of chunks into super-chunks of at least
+/// `target_size` bytes (the last super-chunk of a stream may be smaller).
+class SuperChunkBuilder {
+ public:
+  explicit SuperChunkBuilder(std::uint64_t target_size);
+
+  /// Append one chunk; returns a completed super-chunk when the target
+  /// size is reached, otherwise std::nullopt-like empty optional.
+  [[nodiscard]] bool add(const ChunkRecord& chunk);
+
+  /// True if a completed super-chunk is ready to take().
+  bool ready() const { return ready_; }
+
+  /// Extract the completed super-chunk (only valid when ready()).
+  SuperChunk take();
+
+  /// Flush any partial super-chunk at end of stream; returns an empty
+  /// super-chunk if nothing is pending.
+  SuperChunk flush();
+
+  std::uint64_t target_size() const { return target_size_; }
+
+ private:
+  std::uint64_t target_size_;
+  SuperChunk current_;
+  std::uint64_t current_bytes_ = 0;
+  bool ready_ = false;
+};
+
+/// Convenience: split a whole chunk list into super-chunks of
+/// `target_size` bytes.
+std::vector<SuperChunk> build_super_chunks(
+    const std::vector<ChunkRecord>& chunks, std::uint64_t target_size);
+
+}  // namespace sigma

@@ -1,0 +1,117 @@
+#include "cluster/backup_client.h"
+
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace sigma {
+namespace {
+
+/// One chunk of the session stream, with the view of its payload and the
+/// index of the file it belongs to.
+struct StreamChunk {
+  ChunkRecord record;
+  ByteView payload;
+  std::size_t file_index;
+};
+
+}  // namespace
+
+BackupClient::BackupClient(const BackupClientConfig& config, Cluster& cluster,
+                           Director& director)
+    : config_(config), cluster_(cluster), director_(director) {}
+
+BackupSummary BackupClient::backup(const ContentBackup& session,
+                                   StreamId stream) {
+  Stopwatch timer;
+  BackupSummary summary;
+  const std::uint64_t physical_before = cluster_.report().physical_bytes;
+
+  const auto chunker = make_chunker(config_.chunking, config_.chunk_bytes);
+
+  // Data partitioning + chunk fingerprinting over the whole session
+  // stream. Payload views point into the session's buffers, which outlive
+  // this call.
+  std::vector<StreamChunk> chunks;
+  for (std::size_t f = 0; f < session.files.size(); ++f) {
+    const auto& file = session.files[f];
+    const ByteView data{file.data.data(), file.data.size()};
+    for (const ChunkBoundary& b : chunker->chunk(data)) {
+      const ByteView payload = data.subspan(b.offset, b.size);
+      chunks.push_back(
+          {{Fingerprint::of(payload, config_.hash), b.size}, payload, f});
+    }
+  }
+  summary.chunk_count = chunks.size();
+
+  // Super-chunk grouping over the session stream (file boundaries do not
+  // cut super-chunks; locality follows the stream). Each completed
+  // super-chunk is routed and written with its payload provider; the node
+  // id assigned to each chunk is recorded for the file recipes.
+  std::vector<NodeId> chunk_node(chunks.size());
+  std::size_t window_start = 0;
+  SuperChunkBuilder builder(config_.super_chunk_bytes);
+
+  auto dispatch = [&](SuperChunk&& sc, std::size_t end) {
+    if (sc.chunks.empty()) return;
+    const std::size_t base = window_start;
+    const NodeId target = cluster_.place_super_chunk(
+        sc, stream,
+        [&chunks, base](std::size_t i) { return chunks[base + i].payload; });
+    for (std::size_t i = window_start; i < end; ++i) chunk_node[i] = target;
+    ++summary.super_chunk_count;
+    window_start = end;
+  };
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    summary.logical_bytes += chunks[i].record.size;
+    if (builder.add(chunks[i].record)) dispatch(builder.take(), i + 1);
+  }
+  dispatch(builder.flush(), chunks.size());
+
+  // File recipes.
+  std::vector<FileRecipe> recipes(session.files.size());
+  for (std::size_t f = 0; f < session.files.size(); ++f) {
+    recipes[f].path = session.files[f].path;
+  }
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    recipes[chunks[i].file_index].chunks.push_back(
+        {chunks[i].record.fp, chunks[i].record.size, chunk_node[i]});
+  }
+  for (auto& recipe : recipes) {
+    director_.record_file(session.session, std::move(recipe));
+  }
+
+  // Transferred bytes = unique payloads actually stored this session
+  // (source dedup: duplicates never cross the wire).
+  summary.transferred_bytes =
+      cluster_.report().physical_bytes - physical_before;
+  summary.elapsed_seconds = timer.seconds();
+  return summary;
+}
+
+Buffer BackupClient::restore(const std::string& session,
+                             const std::string& path) const {
+  const auto recipe = director_.find(session, path);
+  if (!recipe) {
+    throw std::runtime_error("restore: unknown file '" + path +
+                             "' in session '" + session + "'");
+  }
+  Buffer out;
+  out.reserve(recipe->logical_bytes());
+  for (const auto& entry : recipe->chunks) {
+    auto chunk = cluster_.node(entry.node).read_chunk(entry.fp);
+    if (!chunk) {
+      throw std::runtime_error("restore: missing chunk " + entry.fp.hex() +
+                               " on node " + std::to_string(entry.node));
+    }
+    if (chunk->size() != entry.size) {
+      throw std::runtime_error("restore: chunk size mismatch for " +
+                               entry.fp.hex());
+    }
+    out.insert(out.end(), chunk->begin(), chunk->end());
+  }
+  return out;
+}
+
+}  // namespace sigma

@@ -1,0 +1,200 @@
+#include "cluster/cluster.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace sigma {
+
+double ClusterReport::usage_mean() const {
+  if (node_usage.empty()) return 0.0;
+  RunningStats stats;
+  for (std::uint64_t u : node_usage) stats.add(static_cast<double>(u));
+  return stats.mean();
+}
+
+double ClusterReport::usage_stddev() const {
+  if (node_usage.empty()) return 0.0;
+  RunningStats stats;
+  for (std::uint64_t u : node_usage) stats.add(static_cast<double>(u));
+  return stats.stddev();
+}
+
+double ClusterReport::effective_dedup_ratio() const {
+  const double alpha = usage_mean();
+  const double sigma = usage_stddev();
+  if (alpha <= 0.0) return dedup_ratio();
+  return dedup_ratio() * alpha / (alpha + sigma);
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), router_(make_router(config.scheme, config.router)) {
+  if (config_.num_nodes == 0) {
+    throw std::invalid_argument("Cluster: need at least one node");
+  }
+  nodes_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<DedupNode>(static_cast<NodeId>(i), config_.node));
+  }
+  if (config_.scheme == RoutingScheme::kExtremeBinning &&
+      config_.eb_bin_dedup) {
+    eb_state_.resize(config_.num_nodes);
+  }
+}
+
+std::vector<const DedupNode*> Cluster::node_views() const {
+  std::vector<const DedupNode*> views;
+  views.reserve(nodes_.size());
+  for (const auto& n : nodes_) views.push_back(n.get());
+  return views;
+}
+
+void Cluster::backup(const TraceBackup& backup, StreamId stream) {
+  switch (router_->granularity()) {
+    case RoutingGranularity::kSuperChunk:
+      backup_super_chunk_stream(backup, stream);
+      break;
+    case RoutingGranularity::kFile:
+      backup_files_extreme_binning(backup, stream);
+      break;
+    case RoutingGranularity::kChunk:
+      backup_chunk_dht(backup, stream);
+      break;
+  }
+}
+
+void Cluster::backup_dataset(const Dataset& dataset, StreamId stream) {
+  if (router_->granularity() == RoutingGranularity::kFile &&
+      !dataset.has_file_metadata) {
+    throw std::invalid_argument(
+        "Cluster: file-granularity routing needs file metadata (dataset '" +
+        dataset.name + "' is a raw chunk trace)");
+  }
+  for (const auto& generation : dataset.backups) backup(generation, stream);
+}
+
+void Cluster::backup_super_chunk_stream(const TraceBackup& backup,
+                                        StreamId stream) {
+  // The backup session is one data stream: files are concatenated in
+  // stream order and cut into super-chunks irrespective of file
+  // boundaries, preserving stream locality (Section 3.2).
+  const auto views = node_views();
+  SuperChunkBuilder builder(config_.super_chunk_bytes);
+
+  auto dispatch = [&](SuperChunk&& sc) {
+    if (sc.chunks.empty()) return;
+    RouteContext ctx;
+    const NodeId target = router_->route(sc.chunks, views, ctx);
+    messages_.pre_routing += ctx.pre_routing_messages;
+    messages_.after_routing += sc.chunks.size();
+    logical_bytes_ += sc.logical_size();
+    nodes_[target]->write_super_chunk(stream, sc);
+  };
+
+  for (const auto& file : backup.files) {
+    for (const auto& chunk : file.chunks) {
+      if (builder.add(chunk)) dispatch(builder.take());
+    }
+  }
+  dispatch(builder.flush());
+}
+
+void Cluster::backup_files_extreme_binning(const TraceBackup& backup,
+                                           StreamId stream) {
+  const auto views = node_views();
+  for (const auto& file : backup.files) {
+    if (file.chunks.empty()) continue;
+    RouteContext ctx;
+    const NodeId target = router_->route(file.chunks, views, ctx);
+    messages_.pre_routing += ctx.pre_routing_messages;
+    messages_.after_routing += file.chunks.size();
+    logical_bytes_ += file.logical_bytes();
+
+    if (config_.eb_bin_dedup) {
+      // Published Extreme Binning: the file deduplicates only against the
+      // bin keyed by its representative fingerprint.
+      const std::uint64_t rep =
+          compute_handprint(file.chunks, 1).front().prefix64();
+      auto& bin = eb_state_[target].bins[rep];
+      for (const auto& chunk : file.chunks) {
+        if (bin.insert(chunk.fp).second) {
+          eb_state_[target].stored_bytes += chunk.size;
+        }
+      }
+    } else {
+      SuperChunk sc;
+      sc.chunks = file.chunks;
+      nodes_[target]->write_super_chunk(stream, sc);
+    }
+  }
+}
+
+void Cluster::backup_chunk_dht(const TraceBackup& backup, StreamId stream) {
+  // Per-chunk DHT placement; chunks headed to the same node are batched
+  // into write units so container locality reflects arrival order.
+  std::vector<SuperChunk> pending(nodes_.size());
+  std::vector<std::uint64_t> pending_bytes(nodes_.size(), 0);
+
+  auto flush_node = [&](std::size_t i) {
+    if (pending[i].chunks.empty()) return;
+    nodes_[i]->write_super_chunk(stream, pending[i]);
+    pending[i] = SuperChunk{};
+    pending_bytes[i] = 0;
+  };
+
+  const auto views = node_views();
+  for (const auto& file : backup.files) {
+    for (const auto& chunk : file.chunks) {
+      RouteContext ctx;
+      const NodeId target = router_->route({chunk}, views, ctx);
+      messages_.pre_routing += ctx.pre_routing_messages;
+      messages_.after_routing += 1;
+      logical_bytes_ += chunk.size;
+      pending[target].chunks.push_back(chunk);
+      pending_bytes[target] += chunk.size;
+      if (pending_bytes[target] >= config_.super_chunk_bytes) {
+        flush_node(target);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) flush_node(i);
+}
+
+NodeId Cluster::place_super_chunk(const SuperChunk& super_chunk,
+                                  StreamId stream,
+                                  const DedupNode::PayloadProvider& payloads) {
+  if (super_chunk.chunks.empty()) {
+    throw std::invalid_argument("Cluster: empty super-chunk");
+  }
+  const auto views = node_views();
+  RouteContext ctx;
+  const NodeId target = router_->route(super_chunk.chunks, views, ctx);
+  messages_.pre_routing += ctx.pre_routing_messages;
+  messages_.after_routing += super_chunk.chunks.size();
+  logical_bytes_ += super_chunk.logical_size();
+  nodes_[target]->write_super_chunk(stream, super_chunk, payloads);
+  return target;
+}
+
+void Cluster::flush() {
+  for (auto& n : nodes_) n->flush();
+}
+
+ClusterReport Cluster::report() const {
+  ClusterReport report;
+  report.logical_bytes = logical_bytes_;
+  report.messages = messages_;
+  report.node_usage.reserve(nodes_.size());
+  const bool eb_bins = !eb_state_.empty();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const std::uint64_t usage =
+        eb_bins ? eb_state_[i].stored_bytes : nodes_[i]->stored_bytes();
+    report.node_usage.push_back(usage);
+    report.physical_bytes += usage;
+  }
+  return report;
+}
+
+}  // namespace sigma

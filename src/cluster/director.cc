@@ -1,0 +1,50 @@
+#include "cluster/director.h"
+
+namespace sigma {
+
+void Director::record_file(const std::string& session, FileRecipe recipe) {
+  std::lock_guard lock(mu_);
+  auto path = recipe.path;
+  sessions_[session][std::move(path)] = std::move(recipe);
+}
+
+std::optional<FileRecipe> Director::find(const std::string& session,
+                                         const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto s = sessions_.find(session);
+  if (s == sessions_.end()) return std::nullopt;
+  auto f = s->second.find(path);
+  if (f == s->second.end()) return std::nullopt;
+  return f->second;
+}
+
+std::vector<std::string> Director::sessions() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, files] : sessions_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Director::files(const std::string& session) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  auto s = sessions_.find(session);
+  if (s == sessions_.end()) return out;
+  out.reserve(s->second.size());
+  for (const auto& [path, recipe] : s->second) out.push_back(path);
+  return out;
+}
+
+std::size_t Director::session_count() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+std::size_t Director::file_count(const std::string& session) const {
+  std::lock_guard lock(mu_);
+  auto s = sessions_.find(session);
+  return s == sessions_.end() ? 0 : s->second.size();
+}
+
+}  // namespace sigma

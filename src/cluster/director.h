@@ -1,0 +1,62 @@
+// The director (paper Section 3.1): tracks backup sessions and file
+// recipes — the mapping from each backed-up file to the chunk fingerprints
+// (and their home nodes) needed to reconstruct it. All session-level and
+// file-level metadata lives here; deduplication nodes only know chunks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "node/dedup_node.h"
+
+namespace sigma {
+
+/// One chunk of a file recipe: what to fetch and from where.
+struct RecipeEntry {
+  Fingerprint fp;
+  std::uint32_t size = 0;
+  NodeId node = 0;
+};
+
+/// Everything needed to reconstruct one file.
+struct FileRecipe {
+  std::string path;
+  std::vector<RecipeEntry> chunks;
+
+  std::uint64_t logical_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& c : chunks) total += c.size;
+    return total;
+  }
+};
+
+/// Thread-safe session/recipe registry.
+class Director {
+ public:
+  /// Record (or replace) a file's recipe within a backup session.
+  void record_file(const std::string& session, FileRecipe recipe);
+
+  /// Find a recipe; nullopt if the session or file is unknown.
+  std::optional<FileRecipe> find(const std::string& session,
+                                 const std::string& path) const;
+
+  std::vector<std::string> sessions() const;
+  std::vector<std::string> files(const std::string& session) const;
+
+  std::size_t session_count() const;
+  std::size_t file_count(const std::string& session) const;
+
+ private:
+  mutable std::mutex mu_;
+  // session -> path -> recipe
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, FileRecipe>>
+      sessions_;
+};
+
+}  // namespace sigma

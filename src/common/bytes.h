@@ -1,0 +1,27 @@
+// Basic byte-buffer aliases shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sigma {
+
+/// Owning byte buffer. Chunk payloads, container sections and generated
+/// file contents all use this representation.
+using Buffer = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteView = std::span<const std::uint8_t>;
+
+/// View over the bytes of a string (no copy).
+inline ByteView as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a view into an owning buffer.
+inline Buffer to_buffer(ByteView v) { return Buffer(v.begin(), v.end()); }
+
+}  // namespace sigma

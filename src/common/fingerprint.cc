@@ -1,0 +1,41 @@
+#include "common/fingerprint.h"
+
+#include <stdexcept>
+
+namespace sigma {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("Fingerprint::from_hex: bad hex digit");
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  std::string out;
+  out.reserve(2 * kSize);
+  for (std::uint8_t b : bytes_) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Fingerprint Fingerprint::from_hex(const std::string& hex) {
+  if (hex.size() != 2 * kSize) {
+    throw std::invalid_argument("Fingerprint::from_hex: wrong length");
+  }
+  Fingerprint fp;
+  for (std::size_t i = 0; i < kSize; ++i) {
+    fp.bytes_[i] = static_cast<std::uint8_t>((hex_value(hex[2 * i]) << 4) |
+                                             hex_value(hex[2 * i + 1]));
+  }
+  return fp;
+}
+
+}  // namespace sigma

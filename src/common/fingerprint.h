@@ -1,0 +1,104 @@
+// Chunk fingerprints: fixed 20-byte values (SHA-1 width). MD5 digests are
+// zero-extended. Fingerprints order lexicographically, which is the order
+// used to select the k *smallest* fingerprints of a super-chunk as its
+// handprint (Section 2.2 of the paper).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/md5.h"
+#include "common/sha1.h"
+
+namespace sigma {
+
+/// Which cryptographic hash fingerprints a chunk.
+enum class HashAlgorithm { kSha1, kMd5 };
+
+/// A chunk fingerprint. Value type, trivially copyable, ordered.
+class Fingerprint {
+ public:
+  static constexpr std::size_t kSize = 20;
+
+  constexpr Fingerprint() = default;
+
+  explicit Fingerprint(const Sha1::Digest& d) {
+    std::memcpy(bytes_.data(), d.data(), d.size());
+  }
+
+  explicit Fingerprint(const Md5::Digest& d) {
+    std::memcpy(bytes_.data(), d.data(), d.size());  // remaining bytes zero
+  }
+
+  /// Fingerprint chunk content with the given algorithm.
+  static Fingerprint of(ByteView data,
+                        HashAlgorithm algo = HashAlgorithm::kSha1) {
+    if (algo == HashAlgorithm::kMd5) return Fingerprint(Md5::hash(data));
+    return Fingerprint(Sha1::hash(data));
+  }
+
+  /// Build a fingerprint from a 64-bit value (test helpers and synthetic
+  /// trace generators). The value is spread over the first 8 bytes
+  /// big-endian so that ordering of fingerprints matches ordering of ids.
+  static Fingerprint from_uint64(std::uint64_t v) {
+    Fingerprint fp;
+    for (int i = 0; i < 8; ++i) {
+      fp.bytes_[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    }
+    return fp;
+  }
+
+  /// Reconstruct from exactly kSize raw bytes (deserialization).
+  static Fingerprint from_bytes(ByteView raw) {
+    if (raw.size() != kSize) {
+      throw std::invalid_argument("Fingerprint::from_bytes: wrong length");
+    }
+    Fingerprint fp;
+    std::memcpy(fp.bytes_.data(), raw.data(), kSize);
+    return fp;
+  }
+
+  /// First 8 bytes as a big-endian integer. Used for DHT-style `mod N`
+  /// node mapping and as the short key stored in the similarity index.
+  std::uint64_t prefix64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | bytes_[i];
+    return v;
+  }
+
+  const std::array<std::uint8_t, kSize>& bytes() const { return bytes_; }
+
+  /// Lowercase hex string (40 chars).
+  std::string hex() const;
+
+  /// Parse a hex string (as produced by hex()). Throws std::invalid_argument
+  /// on malformed input.
+  static Fingerprint from_hex(const std::string& hex);
+
+  friend auto operator<=>(const Fingerprint& a, const Fingerprint& b) {
+    return std::memcmp(a.bytes_.data(), b.bytes_.data(), kSize) <=> 0;
+  }
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return std::memcmp(a.bytes_.data(), b.bytes_.data(), kSize) == 0;
+  }
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+}  // namespace sigma
+
+template <>
+struct std::hash<sigma::Fingerprint> {
+  std::size_t operator()(const sigma::Fingerprint& fp) const noexcept {
+    // The fingerprint is already a cryptographic hash: its prefix is an
+    // excellent hash-table key on its own.
+    return static_cast<std::size_t>(fp.prefix64());
+  }
+};

@@ -1,0 +1,39 @@
+// Small non-cryptographic hash helpers: 64-bit mixers used for hash-table
+// bucketing and deterministic pseudo-random derivation in the workload
+// generators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sigma {
+
+/// SplitMix64 finalizer — a strong 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit values into one (order-sensitive).
+constexpr std::uint64_t hash_combine64(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a over raw bytes, for hashing strings and small records.
+constexpr std::uint64_t fnv1a64(ByteView data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(const std::string& s) {
+  return fnv1a64(as_bytes(s));
+}
+
+}  // namespace sigma

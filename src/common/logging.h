@@ -1,0 +1,48 @@
+// Minimal leveled logging. Examples and the middleware facade log progress;
+// benches and tests run silent by default (level = kWarn).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sigma {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define SIGMA_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::sigma::log_level())) \
+    ;                                                     \
+  else                                                    \
+    ::sigma::detail::LogLine(level)
+
+#define SIGMA_LOG_INFO SIGMA_LOG(::sigma::LogLevel::kInfo)
+#define SIGMA_LOG_WARN SIGMA_LOG(::sigma::LogLevel::kWarn)
+
+}  // namespace sigma

@@ -1,0 +1,40 @@
+// MD5 implementation (RFC 1321), built from scratch. The paper evaluates
+// MD5 against SHA-1 for fingerprinting throughput (Fig. 4a); the library
+// supports both so that bench_fig4a can reproduce the comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sigma {
+
+/// Incremental MD5 hasher, mirroring the Sha1 interface.
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5() { reset(); }
+
+  void update(ByteView data);
+  Digest finish();
+  void reset();
+
+  static Digest hash(ByteView data) {
+    Md5 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t length_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace sigma

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for synthetic workloads.
+// Everything in the benchmark pipeline must be reproducible from a seed, so
+// we carry our own small PRNG rather than depending on std::mt19937's
+// distribution non-determinism across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash_util.h"
+
+namespace sigma {
+
+/// xoshiro256**-based PRNG, seeded via SplitMix64. Cheap to construct, so
+/// generators derive one per (stream, object) pair for stable content.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EED) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = mix64(s + 0x9E3779B97F4A7C15ull);
+      word = s;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (all << 2^64).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed integer sampler over [0, n). Used to model skewed file
+/// sizes and skewed duplicate popularity (the VM dataset's file-size skew is
+/// what defeats Extreme Binning in the paper's Fig. 8).
+class ZipfSampler {
+ public:
+  /// n items, exponent s (s=0 → uniform; s≈1 classic Zipf).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sigma

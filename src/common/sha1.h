@@ -1,0 +1,53 @@
+// SHA-1 implementation (RFC 3174). Built from scratch: the paper's
+// prototype fingerprints chunks with SHA-1 via OpenSSL; we provide our own
+// so the library has no external crypto dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sigma {
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.update(data);
+///   auto digest = h.finish();   // 20 bytes
+///
+/// After finish() the object must be reset() before reuse.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  /// Absorb more input.
+  void update(ByteView data);
+
+  /// Finalize and return the digest. Invalidates the stream state.
+  Digest finish();
+
+  /// Restore the initial state so the hasher can be reused.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t length_ = 0;  // total input bytes
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace sigma

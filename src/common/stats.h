@@ -1,0 +1,87 @@
+// Measurement utilities: running mean/stddev (for the load-balance term
+// sigma/alpha in the normalized effective deduplication ratio), wall-clock
+// timers, byte formatting and a fixed-width table printer used by the
+// benchmark harnesses to emit paper-style tables.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sigma {
+
+/// Welford online mean / variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (the paper's sigma is over all node usages).
+  double variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Also track extremes.
+  void add_tracked(double x) {
+    add(x);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// "123.4 MB"-style human formatting.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.34 MB/s"-style.
+std::string format_throughput(double bytes_per_second);
+
+/// Fixed-width text table for bench output; prints a markdown-ish table
+/// that mirrors the paper's tables/figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to the stream with aligned columns.
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sigma

@@ -1,0 +1,41 @@
+#include "core/sigma_dedupe.h"
+
+namespace sigma {
+namespace {
+
+ClusterConfig make_cluster_config(const MiddlewareConfig& config) {
+  ClusterConfig cc;
+  cc.num_nodes = config.num_nodes;
+  cc.scheme = config.routing;
+  cc.super_chunk_bytes = config.client.super_chunk_bytes;
+  cc.router = config.router;
+  cc.node = config.node;
+  return cc;
+}
+
+}  // namespace
+
+SigmaDedupe::SigmaDedupe(const MiddlewareConfig& config)
+    : config_(config),
+      cluster_(make_cluster_config(config)),
+      client_(config.client, cluster_, director_) {}
+
+BackupSummary SigmaDedupe::backup(const std::string& session,
+                                  const std::vector<ContentFile>& files,
+                                  StreamId stream) {
+  ContentBackup content;
+  content.session = session;
+  content.files = files;
+  return client_.backup(content, stream);
+}
+
+Buffer SigmaDedupe::restore(const std::string& session,
+                            const std::string& path) const {
+  return client_.restore(session, path);
+}
+
+ClusterReport SigmaDedupe::report() const { return cluster_.report(); }
+
+void SigmaDedupe::flush() { cluster_.flush(); }
+
+}  // namespace sigma

@@ -1,0 +1,207 @@
+#include "node/dedup_node.h"
+
+#include <string_view>
+#include <unordered_map>
+
+namespace sigma {
+
+DedupNode::DedupNode(NodeId id, const DedupNodeConfig& config)
+    : DedupNode(id, config, std::make_unique<MemoryBackend>()) {}
+
+DedupNode::DedupNode(NodeId id, const DedupNodeConfig& config,
+                     std::unique_ptr<StorageBackend> backend)
+    : id_(id),
+      config_(config),
+      backend_(std::move(backend)),
+      containers_(*backend_, config.container_capacity_bytes),
+      similarity_index_(config.similarity_index_locks),
+      cache_(config.cache_capacity_containers),
+      bloom_(config.bloom_expected_chunks) {}
+
+std::size_t DedupNode::resemblance_count(const Handprint& handprint) const {
+  return similarity_index_.count_matches(handprint);
+}
+
+std::size_t DedupNode::chunk_match_count(
+    const std::vector<Fingerprint>& fps) const {
+  std::size_t count = 0;
+  for (const auto& fp : fps) {
+    if (chunk_index_.peek(fp)) ++count;
+  }
+  return count;
+}
+
+std::uint64_t DedupNode::stored_bytes() const {
+  return containers_.stored_bytes();
+}
+
+SuperChunkWriteResult DedupNode::write_super_chunk(
+    StreamId stream, const SuperChunk& super_chunk,
+    const PayloadProvider& payloads) {
+  SuperChunkWriteResult result;
+
+  // Step 1+2: similarity-index lookup and container prefetch.
+  const Handprint handprint =
+      compute_handprint(super_chunk.chunks, config_.handprint_size);
+  if (config_.use_similarity_prefetch) {
+    for (ContainerId cid : similarity_index_.match_containers(handprint)) {
+      const bool cached = cache_.contains_container(cid);
+      // Sealed containers are immutable, so a cached copy stays valid; an
+      // open container's cached fingerprint list goes stale as the
+      // container grows and must be refreshed.
+      if (!cached || containers_.is_open(cid)) {
+        cache_.insert(cid, containers_.read_metadata(cid));
+        if (!cached) ++result.container_prefetches;
+      }
+    }
+  }
+
+  // Step 3+4: per-chunk duplicate test, unique-chunk store.
+  // Chunks repeated *within* this super-chunk must dedupe against each
+  // other too, so track locations assigned during this call.
+  std::unordered_map<Fingerprint, ContainerId> local;
+  local.reserve(super_chunk.chunks.size());
+  std::unordered_map<Fingerprint, ContainerId> rfp_location;
+
+  for (std::size_t i = 0; i < super_chunk.chunks.size(); ++i) {
+    const ChunkRecord& chunk = super_chunk.chunks[i];
+    std::optional<ContainerId> home;
+
+    if (auto it = local.find(chunk.fp); it != local.end()) {
+      home = it->second;
+    } else if (auto cached = cache_.lookup(chunk.fp)) {
+      ++result.cache_hits;
+      home = *cached;
+    } else if (config_.use_disk_index) {
+      // DDFS-style summary vector: a negative Bloom answer proves the
+      // chunk new without touching the on-disk index.
+      bool maybe_present = true;
+      if (config_.use_bloom_filter) {
+        std::lock_guard lock(bloom_mu_);
+        maybe_present = bloom_.may_contain(chunk.fp);
+      }
+      if (!maybe_present) {
+        ++result.disk_lookups_avoided_by_bloom;
+      } else {
+        ++result.disk_index_lookups;
+        if (auto loc = chunk_index_.lookup(chunk.fp)) {
+          home = loc->container;
+          if (config_.prefetch_on_disk_hit &&
+              !cache_.contains_container(loc->container)) {
+            cache_.insert(loc->container,
+                          containers_.read_metadata(loc->container));
+            ++result.container_prefetches;
+          }
+        }
+      }
+    }
+
+    if (home) {
+      ++result.duplicate_chunks;
+      result.duplicate_bytes += chunk.size;
+    } else {
+      ChunkLocation loc =
+          payloads ? containers_.append(stream, chunk.fp, payloads(i))
+                   : containers_.append_meta(stream, chunk.fp, chunk.size);
+      if (config_.use_disk_index) {
+        chunk_index_.insert(chunk.fp, loc);
+        if (config_.use_bloom_filter) {
+          std::lock_guard lock(bloom_mu_);
+          bloom_.insert(chunk.fp);
+        }
+      }
+      home = loc.container;
+      ++result.unique_chunks;
+      result.unique_bytes += chunk.size;
+    }
+    local[chunk.fp] = *home;
+    rfp_location[chunk.fp] = *home;
+  }
+
+  // Step 5: publish this super-chunk's handprint so future resemblance
+  // probes and prefetches can find it.
+  for (const auto& rfp : handprint) {
+    similarity_index_.put(rfp, rfp_location.at(rfp));
+  }
+
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.logical_bytes += result.duplicate_bytes + result.unique_bytes;
+    stats_.physical_bytes += result.unique_bytes;
+    stats_.super_chunks += 1;
+    stats_.duplicate_chunks += result.duplicate_chunks;
+    stats_.unique_chunks += result.unique_chunks;
+    stats_.disk_index_lookups += result.disk_index_lookups;
+    stats_.disk_lookups_avoided_by_bloom +=
+        result.disk_lookups_avoided_by_bloom;
+    stats_.container_prefetches += result.container_prefetches;
+  }
+  return result;
+}
+
+void DedupNode::flush() { containers_.flush(); }
+
+std::size_t DedupNode::rebuild_indexes() {
+  std::size_t recovered = 0;
+  ContainerId max_cid = 0;
+  std::uint64_t recovered_bytes = 0;
+  for (const std::string& key : backend_->keys()) {
+    // Sealed containers persist both "container-<id>" and
+    // "container-<id>.meta"; recover from the metadata blobs.
+    constexpr std::string_view kPrefix = "container-";
+    constexpr std::string_view kSuffix = ".meta";
+    if (key.size() <= kPrefix.size() + kSuffix.size() ||
+        key.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        key.compare(key.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string id_str = key.substr(
+        kPrefix.size(), key.size() - kPrefix.size() - kSuffix.size());
+    const ContainerId cid = std::stoull(id_str);
+    const auto blob = backend_->get(key);
+    if (!blob) continue;
+    const auto metadata =
+        Container::deserialize_metadata(ByteView{blob->data(), blob->size()});
+
+    std::vector<ChunkRecord> records;
+    records.reserve(metadata.size());
+    for (std::uint32_t i = 0; i < metadata.size(); ++i) {
+      const ChunkMeta& m = metadata[i];
+      chunk_index_.insert(m.fp, {cid, i});
+      {
+        std::lock_guard lock(bloom_mu_);
+        bloom_.insert(m.fp);
+      }
+      records.push_back({m.fp, m.length});
+      recovered_bytes += m.length;
+    }
+    max_cid = std::max(max_cid, cid);
+    // Republish the container's locality unit in the similarity index so
+    // post-recovery routing probes and prefetches keep working.
+    for (const auto& rfp :
+         compute_handprint(records, config_.handprint_size)) {
+      similarity_index_.put(rfp, cid);
+    }
+    ++recovered;
+  }
+  if (recovered > 0) {
+    containers_.restore_state(max_cid + 1, recovered_bytes);
+    std::lock_guard lock(stats_mu_);
+    stats_.physical_bytes += recovered_bytes;
+  }
+  return recovered;
+}
+
+std::optional<Buffer> DedupNode::read_chunk(const Fingerprint& fp) const {
+  auto loc = chunk_index_.peek(fp);
+  if (!loc) return std::nullopt;
+  return containers_.read_chunk(*loc);
+}
+
+DedupNodeStats DedupNode::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace sigma

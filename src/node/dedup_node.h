@@ -1,0 +1,180 @@
+// A deduplication server node (paper Sections 3.1 and 3.3).
+//
+// The node owns the four intra-node structures and implements the lookup
+// flow of Section 3.3 for every routed super-chunk:
+//
+//   1. look the super-chunk's handprint up in the *similarity index*;
+//   2. prefetch the metadata sections of all matched containers into the
+//      *chunk-fingerprint cache* (container-granularity disk reads);
+//   3. test every chunk fingerprint against the cache; cache misses fall
+//      back to the metered on-disk *chunk index* (exact backstop) — or are
+//      declared unique when the node runs in approximate,
+//      similarity-index-only mode (the Fig. 5b configuration);
+//   4. append unique chunks to the stream's open container in the
+//      *container store*, and
+//   5. publish the super-chunk's handprint in the similarity index.
+//
+// It also answers the two remote probes used by routing schemes:
+// resemblance counts over handprints (Sigma-Dedupe, Algorithm 1 step 2)
+// and sampled chunk-fingerprint match counts (EMC stateful routing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "chunking/super_chunk.h"
+#include "storage/backend.h"
+#include "storage/bloom_filter.h"
+#include "storage/chunk_index.h"
+#include "storage/container_store.h"
+#include "storage/fingerprint_cache.h"
+#include "storage/similarity_index.h"
+
+namespace sigma {
+
+using NodeId = std::uint32_t;
+
+struct DedupNodeConfig {
+  /// Open-container seal threshold.
+  std::uint64_t container_capacity_bytes = 4ull << 20;
+  /// Chunk-fingerprint cache capacity, in containers.
+  std::size_t cache_capacity_containers = 128;
+  /// Lock stripes in the similarity index (Fig. 4b tunable).
+  std::size_t similarity_index_locks = 1024;
+  /// Handprint size k (paper default 8).
+  std::size_t handprint_size = 8;
+  /// Exact mode keeps the metered on-disk chunk index as a backstop after
+  /// cache misses. Approximate mode (false) relies on the similarity
+  /// index + cache only — the configuration studied in Fig. 5b.
+  bool use_disk_index = true;
+  /// Prefetch a container's fingerprints on a disk-index hit as well
+  /// (DDFS-style locality-preserved caching).
+  bool prefetch_on_disk_hit = true;
+  /// Disable to ablate the similarity index's prefetch role: handprints
+  /// are still published (for routing probes) but cache prefetch is
+  /// driven only by disk-index hits, i.e. plain DDFS-style caching.
+  bool use_similarity_prefetch = true;
+  /// DDFS-style Bloom summary vector in front of the on-disk chunk index:
+  /// a negative answer proves a chunk new and skips the disk lookup.
+  bool use_bloom_filter = true;
+  /// Bloom sizing (8 bits/entry at this many expected unique chunks).
+  std::uint64_t bloom_expected_chunks = 1ull << 22;
+};
+
+/// Per-super-chunk dedup outcome and I/O accounting.
+struct SuperChunkWriteResult {
+  std::uint64_t duplicate_chunks = 0;
+  std::uint64_t unique_chunks = 0;
+  std::uint64_t duplicate_bytes = 0;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t disk_index_lookups = 0;
+  std::uint64_t disk_lookups_avoided_by_bloom = 0;
+  std::uint64_t container_prefetches = 0;
+};
+
+/// Cumulative node statistics.
+struct DedupNodeStats {
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t physical_bytes = 0;
+  std::uint64_t super_chunks = 0;
+  std::uint64_t duplicate_chunks = 0;
+  std::uint64_t unique_chunks = 0;
+  std::uint64_t disk_index_lookups = 0;
+  std::uint64_t disk_lookups_avoided_by_bloom = 0;
+  std::uint64_t container_prefetches = 0;
+
+  double dedup_ratio() const {
+    return physical_bytes == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(physical_bytes);
+  }
+};
+
+class DedupNode {
+ public:
+  /// Provides payload bytes for the i-th chunk of the super-chunk being
+  /// written; absent in trace-driven (metadata-only) operation.
+  using PayloadProvider = std::function<ByteView(std::size_t chunk_index)>;
+
+  /// Creates a node with its own in-memory backend.
+  DedupNode(NodeId id, const DedupNodeConfig& config);
+
+  /// Creates a node over a caller-supplied backend (e.g. FileBackend).
+  DedupNode(NodeId id, const DedupNodeConfig& config,
+            std::unique_ptr<StorageBackend> backend);
+
+  NodeId id() const { return id_; }
+
+  // ---- Remote probes (used by routers; message costs are accounted by
+  //      the cluster layer, not here) -------------------------------------
+
+  /// Algorithm 1 step 2: how many of these representative fingerprints are
+  /// present in this node's similarity index?
+  std::size_t resemblance_count(const Handprint& handprint) const;
+
+  /// EMC-stateful probe: how many of these (sampled) chunk fingerprints
+  /// does this node already store?
+  std::size_t chunk_match_count(const std::vector<Fingerprint>& fps) const;
+
+  /// Physical capacity used (for the load-balance discount).
+  std::uint64_t stored_bytes() const;
+
+  // ---- Backup path ------------------------------------------------------
+
+  /// Deduplicate and store one routed super-chunk. `payloads`, when
+  /// provided, supplies the bytes of each chunk (only unique chunks are
+  /// materialized).
+  SuperChunkWriteResult write_super_chunk(StreamId stream,
+                                          const SuperChunk& super_chunk,
+                                          const PayloadProvider& payloads = {});
+
+  /// Seal open containers (end of backup session).
+  void flush();
+
+  /// Crash recovery: rebuild the chunk index, similarity index and Bloom
+  /// filter from the sealed containers in the backend (containers are
+  /// self-describing, so the indexes are soft state). Each recovered
+  /// container contributes its chunk locations to the chunk index and its
+  /// k smallest fingerprints (the container's locality unit handprint) to
+  /// the similarity index. Returns the number of containers recovered.
+  std::size_t rebuild_indexes();
+
+  // ---- Restore path -----------------------------------------------------
+
+  /// Fetch a stored chunk's payload by fingerprint. Requires exact mode
+  /// and payload materialization.
+  std::optional<Buffer> read_chunk(const Fingerprint& fp) const;
+
+  // ---- Introspection ----------------------------------------------------
+
+  DedupNodeStats stats() const;
+  const BloomFilter& bloom_filter() const { return bloom_; }
+  const SimilarityIndex& similarity_index() const { return similarity_index_; }
+  const FingerprintCache& fingerprint_cache() const { return cache_; }
+  const ChunkIndex& chunk_index() const { return chunk_index_; }
+  const ContainerStore& container_store() const { return containers_; }
+  const StorageBackend& backend() const { return *backend_; }
+  const DedupNodeConfig& config() const { return config_; }
+
+ private:
+  NodeId id_;
+  DedupNodeConfig config_;
+  std::unique_ptr<StorageBackend> backend_;
+  ContainerStore containers_;
+  SimilarityIndex similarity_index_;
+  FingerprintCache cache_;
+  ChunkIndex chunk_index_;
+  BloomFilter bloom_;
+  mutable std::mutex bloom_mu_;
+
+  mutable std::mutex stats_mu_;
+  DedupNodeStats stats_;
+};
+
+}  // namespace sigma

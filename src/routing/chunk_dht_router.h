@@ -1,0 +1,25 @@
+// HYDRAstor-style chunk-level DHT routing [Dubnicki et al., FAST'09]:
+// every chunk is placed by `fingerprint mod N`. Duplicate elimination is
+// then perfect *globally* for identical chunks (the same fingerprint always
+// lands on the same node), but locality is destroyed — consecutive chunks
+// scatter across the cluster — which is why HYDRAstor needs very large
+// chunks (64 KB) to stay efficient (paper Section 2.1, Table 1).
+#pragma once
+
+#include "routing/router.h"
+
+namespace sigma {
+
+class ChunkDhtRouter final : public Router {
+ public:
+  std::string name() const override { return "ChunkDHT"; }
+  RoutingGranularity granularity() const override {
+    return RoutingGranularity::kChunk;
+  }
+
+  NodeId route(const std::vector<ChunkRecord>& unit,
+               std::span<const DedupNode* const> nodes,
+               RouteContext& ctx) override;
+};
+
+}  // namespace sigma

@@ -1,0 +1,26 @@
+#include "routing/extreme_binning_router.h"
+
+#include <stdexcept>
+
+namespace sigma {
+
+Fingerprint ExtremeBinningRouter::representative(
+    const std::vector<ChunkRecord>& file) {
+  if (file.empty()) {
+    throw std::invalid_argument("ExtremeBinning: empty file");
+  }
+  return compute_handprint(file, 1).front();
+}
+
+NodeId ExtremeBinningRouter::route(const std::vector<ChunkRecord>& unit,
+                                   std::span<const DedupNode* const> nodes,
+                                   RouteContext& ctx) {
+  (void)ctx;  // stateless: no pre-routing messages
+  if (nodes.empty()) {
+    throw std::invalid_argument("ExtremeBinningRouter: no nodes");
+  }
+  if (unit.empty()) return 0;
+  return static_cast<NodeId>(representative(unit).prefix64() % nodes.size());
+}
+
+}  // namespace sigma

@@ -1,0 +1,76 @@
+#include "routing/router.h"
+
+#include <stdexcept>
+
+#include "routing/chunk_dht_router.h"
+#include "routing/extreme_binning_router.h"
+#include "routing/sigma_router.h"
+#include "routing/stateful_router.h"
+#include "routing/stateless_router.h"
+
+namespace sigma {
+
+const char* to_string(RoutingScheme scheme) {
+  switch (scheme) {
+    case RoutingScheme::kSigma:
+      return "Sigma-Dedupe";
+    case RoutingScheme::kStateless:
+      return "Stateless";
+    case RoutingScheme::kStateful:
+      return "Stateful";
+    case RoutingScheme::kExtremeBinning:
+      return "ExtremeBinning";
+    case RoutingScheme::kChunkDht:
+      return "ChunkDHT";
+  }
+  return "?";
+}
+
+std::unique_ptr<Router> make_router(RoutingScheme scheme,
+                                    const RouterConfig& config) {
+  switch (scheme) {
+    case RoutingScheme::kSigma:
+      return std::make_unique<SigmaRouter>(config);
+    case RoutingScheme::kStateless:
+      return std::make_unique<StatelessRouter>();
+    case RoutingScheme::kStateful:
+      return std::make_unique<StatefulRouter>(config);
+    case RoutingScheme::kExtremeBinning:
+      return std::make_unique<ExtremeBinningRouter>();
+    case RoutingScheme::kChunkDht:
+      return std::make_unique<ChunkDhtRouter>();
+  }
+  throw std::invalid_argument("make_router: unknown scheme");
+}
+
+namespace routing_detail {
+
+double discounted_score(std::size_t resemblance, std::uint64_t node_usage,
+                        double avg_usage, std::uint64_t epsilon) {
+  (void)epsilon;
+  // Algorithm 1 step 3: discount the resemblance count by the node's
+  // storage usage relative to the cluster average. The relative usage is
+  // smoothed as (usage + avg) / (2 * avg), which maps an empty node to
+  // 0.5, a balanced node to 1 and an overloaded node to > 1 — a bounded,
+  // gentle discount that cannot overwhelm a genuine resemblance signal.
+  // Nodes with zero resemblance always score zero; when every candidate
+  // scores zero the routers fall back to least-loaded placement, which is
+  // the balance property Theorem 2 relies on.
+  if (avg_usage <= 0.0) return static_cast<double>(resemblance);
+  const double rel =
+      (static_cast<double>(node_usage) + avg_usage) / (2.0 * avg_usage);
+  return static_cast<double>(resemblance) / rel;
+}
+
+double average_usage(std::span<const DedupNode* const> nodes) {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const DedupNode* n : nodes) {
+    total += static_cast<double>(n->stored_bytes());
+  }
+  return total / static_cast<double>(nodes.size());
+}
+
+}  // namespace routing_detail
+
+}  // namespace sigma

@@ -1,0 +1,64 @@
+#include "routing/sigma_router.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sigma {
+
+SigmaRouter::SigmaRouter(const RouterConfig& config) : config_(config) {
+  if (config_.handprint_size == 0) {
+    throw std::invalid_argument("SigmaRouter: handprint size must be > 0");
+  }
+}
+
+NodeId SigmaRouter::route(const std::vector<ChunkRecord>& unit,
+                          std::span<const DedupNode* const> nodes,
+                          RouteContext& ctx) {
+  if (nodes.empty()) throw std::invalid_argument("SigmaRouter: no nodes");
+  if (unit.empty()) return 0;
+
+  const Handprint handprint = compute_handprint(unit, config_.handprint_size);
+  const std::size_t n = nodes.size();
+
+  // Candidate set: one node per representative fingerprint, deduplicated.
+  std::vector<NodeId> candidates;
+  candidates.reserve(handprint.size());
+  for (const auto& rfp : handprint) {
+    candidates.push_back(static_cast<NodeId>(rfp.prefix64() % n));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Each candidate receives the whole handprint: k lookups per candidate.
+  ctx.pre_routing_messages += handprint.size() * candidates.size();
+
+  // Step 3+4: discounted-resemblance argmax; ties (notably the all-zero
+  // resemblance case for fresh data) break toward the least-loaded
+  // candidate, which yields balanced placement of new data.
+  const double avg = routing_detail::average_usage(nodes);
+  NodeId best = candidates.front();
+  double best_score = -1.0;
+  std::uint64_t best_usage = 0;
+  for (NodeId cand : candidates) {
+    const std::size_t r = nodes[cand]->resemblance_count(handprint);
+    const std::uint64_t usage = nodes[cand]->stored_bytes();
+    const double score =
+        config_.balance_discount
+            ? routing_detail::discounted_score(
+                  r, usage, avg, config_.balance_epsilon_bytes)
+            : static_cast<double>(r);
+    // Ties break toward the least-loaded candidate — unless the balance
+    // ablation is on, in which case candidate order decides.
+    if (score > best_score ||
+        (config_.balance_discount && score == best_score &&
+         usage < best_usage)) {
+      best_score = score;
+      best_usage = usage;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace sigma

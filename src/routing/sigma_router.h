@@ -1,0 +1,37 @@
+// Sigma-Dedupe's similarity-based stateful data routing (Algorithm 1).
+//
+// For super-chunk S with chunk fingerprints {fp_1..fp_n}:
+//   1. handprint = k smallest distinct fingerprints {rfp_1..rfp_k};
+//      candidates = { rfp_i mod N } (<= k nodes out of N);
+//   2. each candidate i returns r_i = |handprint ∩ similarity index_i|;
+//   3. discount r_i by the candidate's storage usage relative to the
+//      cluster average;
+//   4. route to the candidate with the highest discounted resemblance.
+//
+// Pre-routing cost: the handprint (k fingerprints) is sent to each
+// candidate, i.e. at most k*k fingerprint-lookup messages per super-chunk,
+// independent of cluster size N — the property behind Fig. 7's flat curve.
+#pragma once
+
+#include "routing/router.h"
+
+namespace sigma {
+
+class SigmaRouter final : public Router {
+ public:
+  explicit SigmaRouter(const RouterConfig& config);
+
+  std::string name() const override { return "Sigma-Dedupe"; }
+  RoutingGranularity granularity() const override {
+    return RoutingGranularity::kSuperChunk;
+  }
+
+  NodeId route(const std::vector<ChunkRecord>& unit,
+               std::span<const DedupNode* const> nodes,
+               RouteContext& ctx) override;
+
+ private:
+  RouterConfig config_;
+};
+
+}  // namespace sigma

@@ -1,0 +1,30 @@
+// EMC super-chunk stateful routing [Dong et al., FAST'11]: before routing
+// a super-chunk, query *every* node with a sample of the super-chunk's
+// chunk fingerprints and route to the node holding the most matches,
+// corrected for load. Its 1-to-all probe traffic grows linearly with the
+// cluster size (the rising curve of Fig. 7) in exchange for the highest
+// cluster-wide deduplication ratio.
+#pragma once
+
+#include "routing/router.h"
+
+namespace sigma {
+
+class StatefulRouter final : public Router {
+ public:
+  explicit StatefulRouter(const RouterConfig& config);
+
+  std::string name() const override { return "Stateful"; }
+  RoutingGranularity granularity() const override {
+    return RoutingGranularity::kSuperChunk;
+  }
+
+  NodeId route(const std::vector<ChunkRecord>& unit,
+               std::span<const DedupNode* const> nodes,
+               RouteContext& ctx) override;
+
+ private:
+  RouterConfig config_;
+};
+
+}  // namespace sigma

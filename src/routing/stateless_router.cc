@@ -1,0 +1,20 @@
+#include "routing/stateless_router.h"
+
+#include <stdexcept>
+
+namespace sigma {
+
+NodeId StatelessRouter::route(const std::vector<ChunkRecord>& unit,
+                              std::span<const DedupNode* const> nodes,
+                              RouteContext& ctx) {
+  (void)ctx;  // stateless: no pre-routing messages
+  if (nodes.empty()) throw std::invalid_argument("StatelessRouter: no nodes");
+  if (unit.empty()) return 0;
+
+  // Representative fingerprint = the minimum chunk fingerprint, the same
+  // feature Sigma-Dedupe generalizes into a k-wide handprint.
+  const Handprint rep = compute_handprint(unit, 1);
+  return static_cast<NodeId>(rep.front().prefix64() % nodes.size());
+}
+
+}  // namespace sigma

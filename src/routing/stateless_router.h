@@ -1,0 +1,24 @@
+// EMC super-chunk stateless routing [Dong et al., FAST'11]: hash the
+// super-chunk's representative (minimum) fingerprint onto the node ring —
+// a pure DHT placement. No node state is consulted, so there are zero
+// pre-routing messages; the cost is unrecovered cross-node redundancy and
+// growing skew at large cluster sizes.
+#pragma once
+
+#include "routing/router.h"
+
+namespace sigma {
+
+class StatelessRouter final : public Router {
+ public:
+  std::string name() const override { return "Stateless"; }
+  RoutingGranularity granularity() const override {
+    return RoutingGranularity::kSuperChunk;
+  }
+
+  NodeId route(const std::vector<ChunkRecord>& unit,
+               std::span<const DedupNode* const> nodes,
+               RouteContext& ctx) override;
+};
+
+}  // namespace sigma

@@ -1,0 +1,115 @@
+#include "storage/backend.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sigma {
+
+void MemoryBackend::put(const std::string& key, ByteView data) {
+  {
+    std::lock_guard lock(mu_);
+    blobs_[key] = to_buffer(data);
+  }
+  record_write(data.size());
+}
+
+std::optional<Buffer> MemoryBackend::get(const std::string& key) {
+  std::optional<Buffer> out;
+  {
+    std::lock_guard lock(mu_);
+    auto it = blobs_.find(key);
+    if (it != blobs_.end()) out = it->second;
+  }
+  if (out) record_read(out->size());
+  return out;
+}
+
+bool MemoryBackend::exists(const std::string& key) {
+  std::lock_guard lock(mu_);
+  return blobs_.contains(key);
+}
+
+void MemoryBackend::remove(const std::string& key) {
+  std::lock_guard lock(mu_);
+  blobs_.erase(key);
+}
+
+std::vector<std::string> MemoryBackend::keys() {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(blobs_.size());
+  for (const auto& [k, v] : blobs_) out.push_back(k);
+  return out;
+}
+
+FileBackend::FileBackend(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path FileBackend::path_for(const std::string& key) const {
+  // Keys are generated internally (container ids, index shards) and never
+  // contain path separators; reject anything suspicious outright.
+  if (key.empty() || key.find('/') != std::string::npos ||
+      key.find("..") != std::string::npos) {
+    throw std::invalid_argument("FileBackend: invalid key: " + key);
+  }
+  return dir_ / key;
+}
+
+void FileBackend::put(const std::string& key, ByteView data) {
+  const auto path = path_for(key);
+  {
+    std::lock_guard lock(mu_);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("FileBackend: cannot open for write: " +
+                               path.string());
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      throw std::runtime_error("FileBackend: short write: " + path.string());
+    }
+  }
+  record_write(data.size());
+}
+
+std::optional<Buffer> FileBackend::get(const std::string& key) {
+  const auto path = path_for(key);
+  Buffer buf;
+  {
+    std::lock_guard lock(mu_);
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return std::nullopt;
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    buf.resize(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char*>(buf.data()), size);
+    if (!in) {
+      throw std::runtime_error("FileBackend: short read: " + path.string());
+    }
+  }
+  record_read(buf.size());
+  return buf;
+}
+
+bool FileBackend::exists(const std::string& key) {
+  std::lock_guard lock(mu_);
+  return std::filesystem::exists(path_for(key));
+}
+
+void FileBackend::remove(const std::string& key) {
+  std::lock_guard lock(mu_);
+  std::filesystem::remove(path_for(key));
+}
+
+std::vector<std::string> FileBackend::keys() {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.is_regular_file()) out.push_back(entry.path().filename());
+  }
+  return out;
+}
+
+}  // namespace sigma

@@ -1,0 +1,99 @@
+// Storage backend abstraction for persisted structures (sealed containers,
+// on-disk index shards). Two implementations:
+//   * MemoryBackend — for tests and the trace-driven cluster simulation;
+//   * FileBackend   — real files under a directory, used by the examples.
+// Both count I/O so benches can report disk-access behaviour uniformly.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sigma {
+
+/// Monotonically updated I/O counters. Plain struct-of-counters snapshot.
+struct IoStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Key-value blob store. Keys are flat strings ("container-42.meta").
+/// Thread-safe.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual void put(const std::string& key, ByteView data) = 0;
+  /// Returns std::nullopt if the key does not exist.
+  virtual std::optional<Buffer> get(const std::string& key) = 0;
+  virtual bool exists(const std::string& key) = 0;
+  virtual void remove(const std::string& key) = 0;
+  virtual std::vector<std::string> keys() = 0;
+
+  IoStats stats() const {
+    std::lock_guard lock(stats_mu_);
+    return stats_;
+  }
+
+ protected:
+  void record_read(std::uint64_t bytes) {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.reads;
+    stats_.bytes_read += bytes;
+  }
+  void record_write(std::uint64_t bytes) {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.writes;
+    stats_.bytes_written += bytes;
+  }
+
+ private:
+  mutable std::mutex stats_mu_;
+  IoStats stats_;
+};
+
+/// In-memory backend.
+class MemoryBackend final : public StorageBackend {
+ public:
+  void put(const std::string& key, ByteView data) override;
+  std::optional<Buffer> get(const std::string& key) override;
+  bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> keys() override;
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, Buffer> blobs_;
+};
+
+/// Directory-of-files backend. Keys map to file names; the directory is
+/// created on construction.
+class FileBackend final : public StorageBackend {
+ public:
+  explicit FileBackend(std::filesystem::path dir);
+
+  void put(const std::string& key, ByteView data) override;
+  std::optional<Buffer> get(const std::string& key) override;
+  bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> keys() override;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path path_for(const std::string& key) const;
+
+  std::filesystem::path dir_;
+  std::mutex mu_;
+};
+
+}  // namespace sigma

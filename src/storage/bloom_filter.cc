@@ -1,0 +1,65 @@
+#include "storage/bloom_filter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash_util.h"
+
+namespace sigma {
+
+BloomFilter::BloomFilter(std::uint64_t expected_entries,
+                         unsigned bits_per_entry, unsigned num_probes)
+    : num_probes_(num_probes) {
+  if (expected_entries == 0 || bits_per_entry == 0 || num_probes == 0) {
+    throw std::invalid_argument("BloomFilter: bad parameters");
+  }
+  bit_count_ = expected_entries * bits_per_entry;
+  // Round up to a whole number of 64-bit words (at least one).
+  bits_.assign((bit_count_ + 63) / 64, 0);
+  bit_count_ = bits_.size() * 64;
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::hash_pair(
+    const Fingerprint& fp) const {
+  // Two independent 64-bit values derived from the whole fingerprint by
+  // strong mixing. (Deriving h2 from the suffix alone would break on
+  // synthetic fingerprints whose suffix bytes are zero.)
+  const auto& b = fp.bytes();
+  std::uint64_t lo = 0, hi = 0;
+  for (int i = 0; i < 8; ++i) lo = (lo << 8) | b[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) {
+    hi = (hi << 8) | b[static_cast<std::size_t>(i)];
+  }
+  const std::uint64_t h1 = mix64(lo ^ 0xB100F117u) ^ hi;
+  // Odd h2 guarantees the probe sequence walks distinct positions.
+  const std::uint64_t h2 = mix64(h1 ^ lo) | 1;
+  return {h1, h2};
+}
+
+void BloomFilter::insert(const Fingerprint& fp) {
+  const auto [h1, h2] = hash_pair(fp);
+  for (unsigned i = 0; i < num_probes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    bits_[bit / 64] |= 1ull << (bit % 64);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(const Fingerprint& fp) const {
+  const auto [h1, h2] = hash_pair(fp);
+  for (unsigned i = 0; i < num_probes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if (!(bits_[bit / 64] & (1ull << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::estimated_fpp() const {
+  // (1 - e^{-kn/m})^k
+  const double k = num_probes_;
+  const double fill = 1.0 - std::exp(-k * static_cast<double>(inserted_) /
+                                     static_cast<double>(bit_count_));
+  return std::pow(fill, k);
+}
+
+}  // namespace sigma

@@ -1,0 +1,49 @@
+// Bloom-filter summary vector, as used by DDFS [Zhu08] — the design the
+// paper's RAM comparison cites ("DDFS requires 50GB RAM for Bloom filter
+// for a 100TB unique dataset"). The node consults it before the metered
+// on-disk chunk index: a negative answer proves the chunk is new and
+// skips the disk lookup entirely; positives (true or false) still pay the
+// disk I/O. Double hashing over the fingerprint's own bits — fingerprints
+// are cryptographic hashes, so no extra hashing pass is needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace sigma {
+
+class BloomFilter {
+ public:
+  /// Sized for `expected_entries` at ~`bits_per_entry` bits each.
+  /// 8 bits/entry with 6 probes gives ~2% false positives — the classic
+  /// DDFS operating point.
+  explicit BloomFilter(std::uint64_t expected_entries,
+                       unsigned bits_per_entry = 8, unsigned num_probes = 6);
+
+  void insert(const Fingerprint& fp);
+
+  /// False means definitely absent; true means possibly present.
+  bool may_contain(const Fingerprint& fp) const;
+
+  std::uint64_t bit_count() const { return bit_count_; }
+  std::uint64_t inserted() const { return inserted_; }
+
+  /// RAM held by the bit vector.
+  std::uint64_t ram_bytes() const { return bits_.size() * 8; }
+
+  /// Expected false-positive probability at the current load.
+  double estimated_fpp() const;
+
+ private:
+  std::pair<std::uint64_t, std::uint64_t> hash_pair(
+      const Fingerprint& fp) const;
+
+  std::uint64_t bit_count_;
+  unsigned num_probes_;
+  std::uint64_t inserted_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace sigma

@@ -1,0 +1,157 @@
+#include "storage/container.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sigma {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53444331;  // "SDC1"
+
+void put_u32(Buffer& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Buffer& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::uint32_t u32() {
+    check(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    check(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+
+  ByteView bytes(std::size_t n) {
+    check(n);
+    ByteView v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error("Container: truncated blob");
+    }
+  }
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+void serialize_meta_section(const std::vector<ChunkMeta>& metadata,
+                            Buffer& out) {
+  put_u32(out, static_cast<std::uint32_t>(metadata.size()));
+  for (const auto& m : metadata) {
+    out.insert(out.end(), m.fp.bytes().begin(), m.fp.bytes().end());
+    put_u64(out, m.offset);
+    put_u32(out, m.length);
+  }
+}
+
+std::vector<ChunkMeta> read_meta_section(Reader& reader) {
+  const std::uint32_t count = reader.u32();
+  std::vector<ChunkMeta> metadata;
+  metadata.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ChunkMeta m;
+    m.fp = Fingerprint::from_bytes(reader.bytes(Fingerprint::kSize));
+    m.offset = reader.u64();
+    m.length = reader.u32();
+    metadata.push_back(m);
+  }
+  return metadata;
+}
+
+}  // namespace
+
+std::uint64_t Container::append(const Fingerprint& fp, ByteView data) {
+  if (!metadata_.empty() && !has_payloads()) {
+    throw std::logic_error("Container: mixing append() and append_meta()");
+  }
+  const std::uint64_t offset = data_size_;
+  metadata_.push_back(
+      {fp, offset, static_cast<std::uint32_t>(data.size())});
+  data_.insert(data_.end(), data.begin(), data.end());
+  data_size_ += data.size();
+  return offset;
+}
+
+void Container::append_meta(const Fingerprint& fp, std::uint32_t length) {
+  if (!data_.empty()) {
+    throw std::logic_error("Container: mixing append_meta() and append()");
+  }
+  metadata_.push_back({fp, data_size_, length});
+  data_size_ += length;
+}
+
+ByteView Container::chunk_data(std::size_t index) const {
+  if (index >= metadata_.size()) {
+    throw std::out_of_range("Container: chunk index out of range");
+  }
+  if (!has_payloads()) {
+    throw std::logic_error("Container: payloads not materialized");
+  }
+  const ChunkMeta& m = metadata_[index];
+  return ByteView{data_.data() + m.offset, m.length};
+}
+
+Buffer Container::serialize() const {
+  Buffer out;
+  put_u32(out, kMagic);
+  put_u64(out, id_);
+  put_u32(out, has_payloads() ? 1u : 0u);
+  serialize_meta_section(metadata_, out);
+  put_u64(out, data_size_);
+  out.insert(out.end(), data_.begin(), data_.end());
+  return out;
+}
+
+Container Container::deserialize(ByteView blob) {
+  Reader reader(blob);
+  if (reader.u32() != kMagic) {
+    throw std::runtime_error("Container: bad magic");
+  }
+  Container c(reader.u64());
+  const bool has_payloads = reader.u32() != 0;
+  c.metadata_ = read_meta_section(reader);
+  c.data_size_ = reader.u64();
+  if (has_payloads) {
+    ByteView data = reader.bytes(static_cast<std::size_t>(c.data_size_));
+    c.data_.assign(data.begin(), data.end());
+  }
+  return c;
+}
+
+Buffer Container::serialize_metadata() const {
+  Buffer out;
+  serialize_meta_section(metadata_, out);
+  return out;
+}
+
+std::vector<ChunkMeta> Container::deserialize_metadata(ByteView blob) {
+  Reader reader(blob);
+  return read_meta_section(reader);
+}
+
+}  // namespace sigma

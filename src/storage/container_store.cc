@@ -1,0 +1,139 @@
+#include "storage/container_store.h"
+
+#include <stdexcept>
+
+namespace sigma {
+
+ContainerStore::ContainerStore(StorageBackend& backend,
+                               std::uint64_t capacity_bytes)
+    : backend_(backend), capacity_bytes_(capacity_bytes) {
+  if (capacity_bytes_ == 0) {
+    throw std::invalid_argument("ContainerStore: capacity must be > 0");
+  }
+}
+
+std::string ContainerStore::key_for(ContainerId id) {
+  return "container-" + std::to_string(id);
+}
+
+std::string ContainerStore::meta_key_for(ContainerId id) {
+  return "container-" + std::to_string(id) + ".meta";
+}
+
+Container& ContainerStore::open_container_for(StreamId stream,
+                                              std::uint64_t upcoming) {
+  auto it = open_.find(stream);
+  if (it == open_.end()) {
+    it = open_.emplace(stream, std::make_unique<Container>(next_id_++)).first;
+  } else if (it->second->data_size() + upcoming > capacity_bytes_ &&
+             it->second->chunk_count() > 0) {
+    seal_locked(stream);
+    it = open_.emplace(stream, std::make_unique<Container>(next_id_++)).first;
+  }
+  return *it->second;
+}
+
+void ContainerStore::seal_locked(StreamId stream) {
+  auto it = open_.find(stream);
+  if (it == open_.end() || it->second->chunk_count() == 0) return;
+  const Container& c = *it->second;
+  // Persist the full container and, separately, its metadata section so
+  // that cache prefetch reads metadata without dragging in payloads.
+  backend_.put(key_for(c.id()), c.serialize());
+  backend_.put(meta_key_for(c.id()), c.serialize_metadata());
+  open_.erase(it);
+}
+
+ChunkLocation ContainerStore::append(StreamId stream, const Fingerprint& fp,
+                                     ByteView data) {
+  std::lock_guard lock(mu_);
+  Container& c = open_container_for(stream, data.size());
+  c.append(fp, data);
+  stored_bytes_ += data.size();
+  return {c.id(), static_cast<std::uint32_t>(c.chunk_count() - 1)};
+}
+
+ChunkLocation ContainerStore::append_meta(StreamId stream,
+                                          const Fingerprint& fp,
+                                          std::uint32_t length) {
+  std::lock_guard lock(mu_);
+  Container& c = open_container_for(stream, length);
+  c.append_meta(fp, length);
+  stored_bytes_ += length;
+  return {c.id(), static_cast<std::uint32_t>(c.chunk_count() - 1)};
+}
+
+void ContainerStore::flush() {
+  std::lock_guard lock(mu_);
+  std::vector<StreamId> streams;
+  streams.reserve(open_.size());
+  for (const auto& [stream, c] : open_) streams.push_back(stream);
+  for (StreamId s : streams) seal_locked(s);
+}
+
+std::vector<ChunkMeta> ContainerStore::read_metadata(ContainerId id) const {
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [stream, c] : open_) {
+      if (c->id() == id) return c->metadata();
+    }
+  }
+  auto blob = backend_.get(meta_key_for(id));
+  if (!blob) {
+    throw std::runtime_error("ContainerStore: unknown container " +
+                             std::to_string(id));
+  }
+  return Container::deserialize_metadata(*blob);
+}
+
+Buffer ContainerStore::read_chunk(const ChunkLocation& loc) const {
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [stream, c] : open_) {
+      if (c->id() == loc.container) {
+        ByteView v = c->chunk_data(loc.index);
+        return Buffer(v.begin(), v.end());
+      }
+    }
+  }
+  auto blob = backend_.get(key_for(loc.container));
+  if (!blob) {
+    throw std::runtime_error("ContainerStore: unknown container " +
+                             std::to_string(loc.container));
+  }
+  Container c = Container::deserialize(*blob);
+  ByteView v = c.chunk_data(loc.index);
+  return Buffer(v.begin(), v.end());
+}
+
+std::uint64_t ContainerStore::stored_bytes() const {
+  std::lock_guard lock(mu_);
+  return stored_bytes_;
+}
+
+std::uint64_t ContainerStore::container_count() const {
+  std::lock_guard lock(mu_);
+  return next_id_;
+}
+
+std::size_t ContainerStore::open_container_count() const {
+  std::lock_guard lock(mu_);
+  return open_.size();
+}
+
+void ContainerStore::restore_state(ContainerId min_next,
+                                   std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  next_id_ = std::max(next_id_, min_next);
+  stored_bytes_ += bytes;
+}
+
+bool ContainerStore::is_open(ContainerId id) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [stream, c] : open_) {
+    if (c->id() == id) return true;
+  }
+  return false;
+}
+
+}  // namespace sigma

@@ -1,0 +1,87 @@
+// Parallel container management (paper Section 3.3): a dedicated open
+// container per data stream, sealed and persisted to the backend when it
+// fills, with container-granularity reads. This is the locality-preserving
+// store underneath the similarity index and the fingerprint cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/container.h"
+
+namespace sigma {
+
+/// Identifies one backup data stream; each stream owns an open container.
+using StreamId = std::uint32_t;
+
+/// Where a stored chunk lives.
+struct ChunkLocation {
+  ContainerId container = kInvalidContainer;
+  std::uint32_t index = 0;  // position within the container's metadata
+};
+
+class ContainerStore {
+ public:
+  /// `capacity_bytes` — seal threshold for open containers (paper-style
+  /// default 4 MB). `backend` must outlive the store.
+  ContainerStore(StorageBackend& backend, std::uint64_t capacity_bytes);
+
+  /// Append a chunk payload to `stream`'s open container, sealing it first
+  /// if the chunk would not fit. Returns the location of the chunk.
+  ChunkLocation append(StreamId stream, const Fingerprint& fp, ByteView data);
+
+  /// Metadata-only append for trace-driven simulation (no payload bytes).
+  ChunkLocation append_meta(StreamId stream, const Fingerprint& fp,
+                            std::uint32_t length);
+
+  /// Seal and persist every open container.
+  void flush();
+
+  /// Read a container's metadata section (one disk read). Sealed
+  /// containers come from the backend; open containers answer from memory.
+  std::vector<ChunkMeta> read_metadata(ContainerId id) const;
+
+  /// Read one chunk's payload (for restore). Requires payload
+  /// materialization.
+  Buffer read_chunk(const ChunkLocation& loc) const;
+
+  /// Total bytes accounted to stored chunks (physical usage).
+  std::uint64_t stored_bytes() const;
+
+  /// Number of containers ever allocated.
+  std::uint64_t container_count() const;
+
+  /// Containers currently open (unsealed).
+  std::size_t open_container_count() const;
+
+  /// Is this container still open (mutable)? Cached metadata of an open
+  /// container goes stale as the container grows; callers must refresh.
+  bool is_open(ContainerId id) const;
+
+  /// Recovery support: make sure future container ids start at or after
+  /// `min_next`, and credit `bytes` of pre-existing stored data.
+  void restore_state(ContainerId min_next, std::uint64_t bytes);
+
+ private:
+  // Must hold mu_.
+  Container& open_container_for(StreamId stream, std::uint64_t upcoming);
+  void seal_locked(StreamId stream);
+  static std::string key_for(ContainerId id);
+  static std::string meta_key_for(ContainerId id);
+
+  StorageBackend& backend_;
+  const std::uint64_t capacity_bytes_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<StreamId, std::unique_ptr<Container>> open_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace sigma

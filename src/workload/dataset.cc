@@ -1,0 +1,96 @@
+#include "workload/dataset.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sigma {
+
+std::uint64_t ContentBackup::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.data.size();
+  return total;
+}
+
+std::uint64_t TraceFile::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : chunks) total += c.size;
+  return total;
+}
+
+std::uint64_t TraceBackup::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.logical_bytes();
+  return total;
+}
+
+std::uint64_t TraceBackup::chunk_count() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.chunks.size();
+  return total;
+}
+
+std::uint64_t Dataset::logical_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : backups) total += b.logical_bytes();
+  return total;
+}
+
+std::uint64_t Dataset::chunk_count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : backups) total += b.chunk_count();
+  return total;
+}
+
+TraceBackup materialize(const ContentBackup& backup, const Chunker& chunker,
+                        HashAlgorithm algo) {
+  TraceBackup out;
+  out.session = backup.session;
+  out.files.reserve(backup.files.size());
+  for (const auto& file : backup.files) {
+    TraceFile tf;
+    tf.path = file.path;
+    const ByteView data{file.data.data(), file.data.size()};
+    for (const ChunkBoundary& b : chunker.chunk(data)) {
+      const ByteView chunk = data.subspan(b.offset, b.size);
+      tf.chunks.push_back({Fingerprint::of(chunk, algo), b.size});
+    }
+    out.files.push_back(std::move(tf));
+  }
+  return out;
+}
+
+Dataset materialize_dataset(const std::string& name,
+                            const std::vector<ContentBackup>& backups,
+                            const Chunker& chunker, HashAlgorithm algo) {
+  Dataset out;
+  out.name = name;
+  out.has_file_metadata = true;
+  out.backups.reserve(backups.size());
+  for (const auto& b : backups) {
+    out.backups.push_back(materialize(b, chunker, algo));
+  }
+  return out;
+}
+
+std::uint64_t exact_unique_bytes(const Dataset& dataset) {
+  std::unordered_map<Fingerprint, std::uint32_t> unique;
+  for (const auto& backup : dataset.backups) {
+    for (const auto& file : backup.files) {
+      for (const auto& chunk : file.chunks) {
+        unique.try_emplace(chunk.fp, chunk.size);
+      }
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto& [fp, size] : unique) total += size;
+  return total;
+}
+
+double exact_dedup_ratio(const Dataset& dataset) {
+  const std::uint64_t physical = exact_unique_bytes(dataset);
+  return physical == 0 ? 1.0
+                       : static_cast<double>(dataset.logical_bytes()) /
+                             static_cast<double>(physical);
+}
+
+}  // namespace sigma

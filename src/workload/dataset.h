@@ -1,0 +1,87 @@
+// Workload model. The paper evaluates on two kinds of inputs:
+//   * datasets with real file contents (Linux kernel trees, VM images) —
+//     we model these as ContentBackups (files with bytes) that are then
+//     chunked + fingerprinted into traces, and
+//   * chunk traces without file metadata (FIU mail/web I/O traces) —
+//     modeled directly as TraceFiles.
+//
+// The trace form (fingerprint + size per chunk, file boundaries when the
+// dataset has them) is what the trace-driven cluster simulation consumes,
+// exactly as the paper's own evaluation does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "chunking/super_chunk.h"
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+
+namespace sigma {
+
+/// A file with materialized contents (pre-chunking).
+struct ContentFile {
+  std::string path;
+  Buffer data;
+};
+
+/// One backup generation with file contents.
+struct ContentBackup {
+  std::string session;
+  std::vector<ContentFile> files;
+
+  std::uint64_t logical_bytes() const;
+};
+
+/// A file reduced to its chunk records (fingerprint + size, stream order).
+struct TraceFile {
+  std::string path;
+  std::vector<ChunkRecord> chunks;
+
+  std::uint64_t logical_bytes() const;
+};
+
+/// One backup generation in trace form.
+struct TraceBackup {
+  std::string session;
+  std::vector<TraceFile> files;
+
+  std::uint64_t logical_bytes() const;
+  std::uint64_t chunk_count() const;
+};
+
+/// A full dataset: an ordered sequence of backup generations.
+struct Dataset {
+  std::string name;
+  /// False for the mail/web traces: no per-file boundaries, so
+  /// file-granularity schemes (Extreme Binning) cannot run on it — the
+  /// same restriction the paper notes for Fig. 8.
+  bool has_file_metadata = true;
+  std::vector<TraceBackup> backups;
+
+  std::uint64_t logical_bytes() const;
+  std::uint64_t chunk_count() const;
+};
+
+/// Chunk + fingerprint one content backup into trace form.
+TraceBackup materialize(const ContentBackup& backup, const Chunker& chunker,
+                        HashAlgorithm algo = HashAlgorithm::kSha1);
+
+/// Chunk + fingerprint a whole content dataset.
+Dataset materialize_dataset(const std::string& name,
+                            const std::vector<ContentBackup>& backups,
+                            const Chunker& chunker,
+                            HashAlgorithm algo = HashAlgorithm::kSha1);
+
+/// Exact single-node deduplication ratio of a dataset (logical bytes over
+/// bytes of distinct fingerprints) — the paper's SDR baseline used to
+/// normalize cluster dedup ratios.
+double exact_dedup_ratio(const Dataset& dataset);
+
+/// Distinct-fingerprint (physical) bytes of a dataset under exact dedup.
+std::uint64_t exact_unique_bytes(const Dataset& dataset);
+
+}  // namespace sigma

@@ -1,0 +1,103 @@
+#include "workload/file_pairs.h"
+
+#include <algorithm>
+
+#include "common/hash_util.h"
+#include "common/random.h"
+
+namespace sigma {
+namespace {
+
+void fill_block(std::uint64_t seed, std::size_t len, Buffer& out) {
+  Rng rng(seed);
+  std::size_t i = 0;
+  while (i + 8 <= len) {
+    const std::uint64_t v = rng.next();
+    for (int b = 0; b < 8; ++b) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+    i += 8;
+  }
+  std::uint64_t v = rng.next();
+  while (i < len) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    v >>= 8;
+    ++i;
+  }
+}
+
+std::size_t block_length(std::uint64_t seed) {
+  return 64 + (mix64(seed ^ 0xB10C) % 448);
+}
+
+Buffer materialize(const std::vector<std::uint64_t>& blocks) {
+  Buffer out;
+  out.reserve(blocks.size() * 288);
+  for (std::uint64_t seed : blocks) {
+    fill_block(seed, block_length(seed), out);
+  }
+  return out;
+}
+
+}  // namespace
+
+FilePair make_file_pair(const std::string& label, double edit_fraction,
+                        const FilePairConfig& config) {
+  edit_fraction = std::clamp(edit_fraction, 0.0, 1.0);
+  Rng rng(hash_combine64(config.seed, fnv1a64(label)));
+  std::uint64_t next_seed = rng.next();
+  auto fresh = [&next_seed] { return next_seed = mix64(next_seed + 1); };
+
+  // Base version.
+  std::vector<std::uint64_t> base;
+  std::uint64_t total = 0;
+  while (total < config.bytes) {
+    const std::uint64_t s = fresh();
+    base.push_back(s);
+    total += block_length(s);
+  }
+
+  // Second version: run-structured edits over `edit_fraction` of blocks,
+  // mixing replacements with insertions/deletions (as document edits do).
+  std::vector<std::uint64_t> second = base;
+  const auto target = static_cast<std::size_t>(
+      static_cast<double>(base.size()) * edit_fraction);
+  std::size_t changed = 0;
+  while (changed < target && !second.empty()) {
+    const std::size_t pos = rng.next_below(second.size());
+    const std::size_t run =
+        std::min<std::size_t>(4 + rng.next_below(12), target - changed);
+    const double op = rng.next_double();
+    if (op < 0.2) {
+      std::vector<std::uint64_t> ins(run);
+      for (auto& s : ins) s = fresh();
+      second.insert(second.begin() + static_cast<std::ptrdiff_t>(pos),
+                    ins.begin(), ins.end());
+    } else if (op < 0.4) {
+      const std::size_t n = std::min(run, second.size() - pos);
+      second.erase(second.begin() + static_cast<std::ptrdiff_t>(pos),
+                   second.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    } else {
+      for (std::size_t i = 0; i < run && pos + i < second.size(); ++i) {
+        second[pos + i] = fresh();
+      }
+    }
+    changed += run;
+  }
+
+  return FilePair{label, materialize(base), materialize(second)};
+}
+
+std::vector<FilePair> fig1_file_pairs(const FilePairConfig& config) {
+  // Edit fractions calibrated to span the paper's resemblance range:
+  // consecutive kernel versions are nearly identical, while the PPT and
+  // HTML pairs fall below 0.5 true resemblance.
+  return {
+      make_file_pair("Linux-2.6.7/8", 0.03, config),
+      make_file_pair("DOC", 0.15, config),
+      make_file_pair("PPT", 0.35, config),
+      make_file_pair("HTML", 0.55, config),
+  };
+}
+
+}  // namespace sigma

@@ -1,0 +1,39 @@
+// Pair-wise file generator for the Fig. 1 experiment (Section 2.2): the
+// paper measures handprint resemblance detection on the first 8 MB of four
+// file pairs of different application types — two Linux kernel versions,
+// and pair-wise versions of DOC, PPT and HTML documents — whose true
+// (Jaccard) resemblances range from high to poor (< 0.5).
+//
+// We model each application type as a block-structured 8 MB file whose
+// second version applies a type-specific amount of run-structured edits,
+// calibrated so the measured chunk-level resemblances span the same range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sigma {
+
+struct FilePair {
+  std::string label;   // "Linux-2.6.7/8", "DOC", "PPT", "HTML"
+  Buffer first;
+  Buffer second;
+};
+
+struct FilePairConfig {
+  std::uint64_t bytes = 8ull << 20;
+  std::uint64_t seed = 0x0F16;
+};
+
+/// The four Fig. 1 pairs, ordered from most to least similar.
+std::vector<FilePair> fig1_file_pairs(const FilePairConfig& config = {});
+
+/// One pair with an explicit fraction of edited blocks (0 = identical,
+/// 1 = fully rewritten); exposed for tests and sensitivity sweeps.
+FilePair make_file_pair(const std::string& label, double edit_fraction,
+                        const FilePairConfig& config = {});
+
+}  // namespace sigma

@@ -1,0 +1,436 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/hash_util.h"
+#include "common/random.h"
+
+namespace sigma {
+namespace {
+
+// Fill `out` with `len` deterministic bytes derived from `seed`.
+void fill_block(std::uint64_t seed, std::size_t len, Buffer& out) {
+  Rng rng(seed);
+  std::size_t i = 0;
+  while (i + 8 <= len) {
+    const std::uint64_t v = rng.next();
+    for (int b = 0; b < 8; ++b) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+    i += 8;
+  }
+  std::uint64_t v = rng.next();
+  while (i < len) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    v >>= 8;
+    ++i;
+  }
+}
+
+// Text-like variable block length in [64, 512) derived from the seed, so
+// a block's length is stable wherever it appears.
+std::size_t block_length(std::uint64_t seed) {
+  return 64 + (mix64(seed ^ 0xB10C) % 448);
+}
+
+// Standard normal via Box-Muller.
+double normal(Rng& rng) {
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Linux
+// ---------------------------------------------------------------------------
+
+LinuxWorkloadConfig LinuxWorkloadConfig::scaled(double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("LinuxWorkloadConfig: scale must be > 0");
+  }
+  LinuxWorkloadConfig cfg;
+  cfg.base_files = std::max(
+      8, static_cast<int>(std::lround(cfg.base_files * scale)));
+  return cfg;
+}
+
+LinuxGenerator::LinuxGenerator(const LinuxWorkloadConfig& config)
+    : config_(config) {
+  if (config_.versions < 1 || config_.base_files < 1) {
+    throw std::invalid_argument("LinuxGenerator: bad config");
+  }
+}
+
+std::vector<ContentBackup> LinuxGenerator::content() const {
+  // A file is a sequence of (seed, length) blocks. Replacements keep the
+  // block's length so static chunking stays aligned (an in-place edit);
+  // only insert/delete runs shift content — which is exactly the damage
+  // profile that makes CDC beat SC slightly (Table 2).
+  struct Block {
+    std::uint64_t seed;
+    std::uint32_t length;
+  };
+  struct SourceFile {
+    std::string path;
+    std::vector<Block> blocks;
+  };
+
+  Rng rng(config_.seed);
+  std::uint64_t next_block_seed = mix64(config_.seed ^ 0xF11E);
+  auto fresh_seed = [&next_block_seed] {
+    return next_block_seed = mix64(next_block_seed + 0x9E37);
+  };
+  auto fresh_block = [&] {
+    const std::uint64_t seed = fresh_seed();
+    return Block{seed, static_cast<std::uint32_t>(block_length(seed))};
+  };
+
+  std::vector<SourceFile> tree;
+  int next_file_id = 0;
+
+  auto add_file = [&](std::uint64_t target_bytes) {
+    SourceFile f;
+    f.path = "src/file_" + std::to_string(next_file_id++) + ".c";
+    std::uint64_t total = 0;
+    while (total < target_bytes) {
+      f.blocks.push_back(fresh_block());
+      total += f.blocks.back().length;
+    }
+    tree.push_back(std::move(f));
+  };
+
+  // Version 1 tree with lognormal-ish file sizes.
+  for (int i = 0; i < config_.base_files; ++i) {
+    const double factor = std::exp(0.8 * normal(rng));
+    const auto target = static_cast<std::uint64_t>(std::clamp(
+        config_.mean_file_bytes * factor, 4096.0, 512.0 * 1024));
+    add_file(target);
+  }
+
+  auto edit_file = [&](SourceFile& f) {
+    const std::size_t total = f.blocks.size();
+    const std::size_t to_change = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(total) * config_.block_change_frac));
+    std::size_t changed = 0;
+    while (changed < to_change && !f.blocks.empty()) {
+      const std::size_t pos = rng.next_below(f.blocks.size());
+      const std::size_t run =
+          std::min<std::size_t>(8 + rng.next_below(16), to_change - changed);
+      if (rng.chance(config_.insert_run_prob)) {
+        if (rng.chance(0.5)) {
+          // Insert a run of fresh blocks (shifts the tail).
+          std::vector<Block> fresh(run);
+          for (auto& b : fresh) b = fresh_block();
+          f.blocks.insert(f.blocks.begin() + static_cast<std::ptrdiff_t>(pos),
+                          fresh.begin(), fresh.end());
+        } else {
+          // Delete a run.
+          const std::size_t n =
+              std::min(run, f.blocks.size() - pos);
+          f.blocks.erase(
+              f.blocks.begin() + static_cast<std::ptrdiff_t>(pos),
+              f.blocks.begin() + static_cast<std::ptrdiff_t>(pos + n));
+        }
+      } else {
+        // Replace in place, preserving each block's length so the edit
+        // does not shift the rest of the file.
+        for (std::size_t i = 0; i < run && pos + i < f.blocks.size(); ++i) {
+          f.blocks[pos + i].seed = fresh_seed();
+        }
+      }
+      changed += run;
+    }
+  };
+
+  std::vector<ContentBackup> out;
+  out.reserve(static_cast<std::size_t>(config_.versions));
+  for (int v = 1; v <= config_.versions; ++v) {
+    if (v > 1) {
+      for (auto& f : tree) {
+        if (rng.chance(config_.file_change_prob)) edit_file(f);
+      }
+      const int adds = static_cast<int>(
+          std::lround(config_.base_files * config_.file_add_frac));
+      for (int i = 0; i < adds; ++i) {
+        add_file(config_.mean_file_bytes / 2);
+      }
+    }
+    ContentBackup backup;
+    backup.session = "linux-v" + std::to_string(v);
+    backup.files.reserve(tree.size());
+    for (const auto& f : tree) {
+      ContentFile cf;
+      cf.path = f.path;
+      cf.data.reserve(f.blocks.size() * 288);
+      for (const Block& b : f.blocks) {
+        fill_block(b.seed, b.length, cf.data);
+      }
+      backup.files.push_back(std::move(cf));
+    }
+    out.push_back(std::move(backup));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// VM
+// ---------------------------------------------------------------------------
+
+VmWorkloadConfig VmWorkloadConfig::scaled(double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("VmWorkloadConfig: scale must be > 0");
+  }
+  VmWorkloadConfig cfg;
+  cfg.image_bytes = std::max<std::uint64_t>(
+      1 << 20, static_cast<std::uint64_t>(
+                   static_cast<double>(cfg.image_bytes) * scale));
+  return cfg;
+}
+
+VmGenerator::VmGenerator(const VmWorkloadConfig& config) : config_(config) {
+  if (config_.vms < 1 || config_.windows_vms > config_.vms ||
+      config_.os_pool_frac + config_.unique_frac > 1.0) {
+    throw std::invalid_argument("VmGenerator: bad config");
+  }
+}
+
+std::vector<ContentBackup> VmGenerator::content() const {
+  const std::uint64_t blocks_per_image =
+      config_.image_bytes / config_.block_bytes;
+  // Keep a sensible number of segments even for tiny scaled-down images.
+  const std::uint64_t segment_blocks = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(config_.segment_blocks,
+                                 blocks_per_image / 16));
+  const std::uint64_t segments_per_image =
+      std::max<std::uint64_t>(1, blocks_per_image / segment_blocks);
+  // The per-OS pool holds ~40% of an image's worth of segments; pool
+  // draws from several same-OS images cover it, so shared OS content is
+  // stored once per OS under exact dedup.
+  const std::uint64_t pool_segments = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(0.40 * static_cast<double>(
+                                               segments_per_image)));
+
+  // Which generation last rewrote a private block: gen 1 writes everything;
+  // each later generation rewrites a `churn` fraction.
+  auto rewrite_generation = [&](int vm, std::uint64_t idx, int gen) {
+    int last = 1;
+    for (int g = 2; g <= gen; ++g) {
+      const std::uint64_t h =
+          mix64(hash_combine64(config_.seed ^ 0xC4,
+                               hash_combine64(static_cast<std::uint64_t>(vm),
+                                              hash_combine64(idx, g))));
+      if (static_cast<double>(h >> 11) * 0x1.0p-53 < config_.churn) last = g;
+    }
+    return last;
+  };
+
+  std::vector<ContentBackup> out;
+  for (int gen = 1; gen <= config_.generations; ++gen) {
+    ContentBackup backup;
+    backup.session = "vm-full-" + std::to_string(gen);
+    for (int vm = 0; vm < config_.vms; ++vm) {
+      const bool windows = vm < config_.windows_vms;
+      const std::uint64_t os_tag = windows ? 0xA11CE : 0xB0B;
+
+      ContentFile image;
+      image.path = "vm" + std::to_string(vm) + "/disk.img";
+      image.data.reserve(config_.image_bytes);
+      for (std::uint64_t idx = 0; idx < blocks_per_image; ++idx) {
+        const std::uint64_t seg = idx / segment_blocks;
+        const std::uint64_t off = idx % segment_blocks;
+        // Segment type is a stable function of (vm, segment): whole
+        // contiguous segments are OS-pool, private, or zero.
+        const std::uint64_t type_h = mix64(hash_combine64(
+            config_.seed, hash_combine64(static_cast<std::uint64_t>(vm),
+                                         seg)));
+        const double u = static_cast<double>(type_h >> 11) * 0x1.0p-53;
+        if (u < config_.os_pool_frac) {
+          // OS-pool segment shared (block-aligned) among same-OS images.
+          const std::uint64_t pool_seg = mix64(type_h ^ 0x9D) % pool_segments;
+          fill_block(hash_combine64(
+                         os_tag, pool_seg * segment_blocks + off),
+                     config_.block_bytes, image.data);
+        } else if (u < config_.os_pool_frac + config_.unique_frac) {
+          // VM-private block; rewritten on churn.
+          const int last = rewrite_generation(vm, idx, gen);
+          fill_block(hash_combine64(
+                         hash_combine64(config_.seed ^ 0x77,
+                                        static_cast<std::uint64_t>(vm)),
+                         hash_combine64(idx, static_cast<std::uint64_t>(
+                                                 last))),
+                     config_.block_bytes, image.data);
+        } else {
+          // Zeroed (never-written) region.
+          image.data.insert(image.data.end(), config_.block_bytes, 0);
+        }
+      }
+      backup.files.push_back(std::move(image));
+
+      // Small per-VM metadata files: the skew tail of the file-size
+      // distribution.
+      for (int s = 0; s < config_.small_files_per_vm; ++s) {
+        ContentFile small;
+        small.path =
+            "vm" + std::to_string(vm) + "/conf_" + std::to_string(s);
+        const std::size_t len =
+            2048 + (mix64(hash_combine64(static_cast<std::uint64_t>(vm),
+                                         static_cast<std::uint64_t>(s))) %
+                    (62 * 1024));
+        // Config files change every generation (timestamps etc.).
+        fill_block(hash_combine64(
+                       hash_combine64(config_.seed ^ 0x5F,
+                                      static_cast<std::uint64_t>(vm)),
+                       hash_combine64(static_cast<std::uint64_t>(s),
+                                      static_cast<std::uint64_t>(gen))),
+                   len, small.data);
+        backup.files.push_back(std::move(small));
+      }
+    }
+    out.push_back(std::move(backup));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Mail / Web chunk traces
+// ---------------------------------------------------------------------------
+
+StreamTraceGenerator::StreamTraceGenerator(std::string name,
+                                           const StreamTraceConfig& config)
+    : name_(std::move(name)), config_(config) {
+  if (config_.logical_bytes == 0 || config_.chunk_bytes == 0 ||
+      config_.mean_object_chunks == 0 || config_.sessions < 1 ||
+      config_.fresh_fraction < 0.0 || config_.fresh_fraction > 1.0) {
+    throw std::invalid_argument("StreamTraceGenerator: bad config");
+  }
+}
+
+Dataset StreamTraceGenerator::trace() const {
+  Rng rng(config_.seed);
+  std::uint64_t next_fp_id = mix64(config_.seed ^ 0xFEED);
+
+  // The archive: objects in creation order. Sessions rescan it from the
+  // front (stable order => cross-session stream alignment, the locality
+  // real daily backup streams have) and append fresh objects to the back.
+  std::vector<std::vector<ChunkRecord>> archive;
+
+  auto new_object = [&] {
+    const std::uint32_t n_chunks =
+        1 + static_cast<std::uint32_t>(
+                rng.next_below(2 * config_.mean_object_chunks - 1));
+    std::vector<ChunkRecord> obj;
+    obj.reserve(n_chunks);
+    for (std::uint32_t i = 0; i < n_chunks; ++i) {
+      next_fp_id = mix64(next_fp_id + 0x9E3779B9);
+      const std::uint32_t size =
+          (i + 1 == n_chunks)
+              ? static_cast<std::uint32_t>(
+                    1 + rng.next_below(config_.chunk_bytes))
+              : config_.chunk_bytes;
+      obj.push_back({Fingerprint::from_uint64(next_fp_id), size});
+    }
+    return obj;
+  };
+
+  Dataset out;
+  out.name = name_;
+  out.has_file_metadata = false;
+
+  const std::uint64_t per_session =
+      config_.logical_bytes / static_cast<std::uint64_t>(config_.sessions);
+  for (int s = 0; s < config_.sessions; ++s) {
+    TraceBackup backup;
+    backup.session = name_ + "-session-" + std::to_string(s + 1);
+    TraceFile stream;
+    stream.path = "";  // trace: no file metadata
+
+    // Session 1 has no archive: it is entirely fresh.
+    const double fresh_frac = s == 0 ? 1.0 : config_.fresh_fraction;
+    const auto fresh_budget = static_cast<std::uint64_t>(
+        static_cast<double>(per_session) * fresh_frac);
+
+    std::uint64_t emitted = 0;
+    std::uint64_t fresh_emitted = 0;
+    std::size_t scan_pos = 0;
+    const std::size_t archived_before = archive.size();
+    while (emitted < per_session) {
+      const std::vector<ChunkRecord>* obj = nullptr;
+      // Interleave fresh arrivals proportionally through the rescan, the
+      // way new mail lands between mailbox sweeps.
+      const bool want_fresh =
+          fresh_emitted < fresh_budget &&
+          (archived_before == 0 ||
+           static_cast<double>(fresh_emitted) <
+               static_cast<double>(emitted) * fresh_frac);
+      if (want_fresh || archive.empty()) {
+        archive.push_back(new_object());
+        obj = &archive.back();
+        for (const auto& c : *obj) fresh_emitted += c.size;
+      } else {
+        // Stable-order rescan, cycling over the session-start archive.
+        obj = &archive[scan_pos % archived_before];
+        ++scan_pos;
+      }
+      for (const auto& c : *obj) {
+        stream.chunks.push_back(c);
+        emitted += c.size;
+      }
+    }
+    backup.files.push_back(std::move(stream));
+    out.backups.push_back(std::move(backup));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 one-stop datasets
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const Chunker& default_chunker() {
+  static const FixedChunker chunker(4096);
+  return chunker;
+}
+
+}  // namespace
+
+Dataset linux_dataset(double scale, const Chunker* chunker) {
+  const LinuxWorkloadConfig cfg = LinuxWorkloadConfig::scaled(scale);
+  const auto backups = LinuxGenerator(cfg).content();
+  return materialize_dataset("Linux", backups,
+                             chunker ? *chunker : default_chunker());
+}
+
+Dataset vm_dataset(double scale, const Chunker* chunker) {
+  const VmWorkloadConfig cfg = VmWorkloadConfig::scaled(scale);
+  const auto backups = VmGenerator(cfg).content();
+  return materialize_dataset("VM", backups,
+                             chunker ? *chunker : default_chunker());
+}
+
+Dataset mail_dataset(double scale) {
+  StreamTraceConfig cfg;
+  cfg.logical_bytes = static_cast<std::uint64_t>(526.0 * 1024 * 1024 * scale);
+  cfg.fresh_fraction = 0.013;  // ~ S/(1+(S-1)f) = 10.5 with S = 12
+  cfg.seed = 0x3A11;
+  Dataset d = StreamTraceGenerator("Mail", cfg).trace();
+  return d;
+}
+
+Dataset web_dataset(double scale) {
+  StreamTraceConfig cfg;
+  cfg.logical_bytes = static_cast<std::uint64_t>(43.0 * 1024 * 1024 * scale);
+  cfg.fresh_fraction = 0.483;  // ~ S/(1+(S-1)f) = 1.9 with S = 12
+  cfg.seed = 0x3B22;
+  Dataset d = StreamTraceGenerator("Web", cfg).trace();
+  return d;
+}
+
+}  // namespace sigma

@@ -1,0 +1,147 @@
+// Synthetic equivalents of the paper's four evaluation workloads
+// (Table 2). The real datasets (Linux kernel sources 1.0–3.3.6, 2x8 VM
+// monthly fulls, FIU mail/web traces) are not available offline, so each
+// generator reproduces the *structure* that drives the paper's results:
+// inter-version redundancy and locality (Linux), large skewed files with
+// cross-VM redundancy (VM), and high/low-redundancy file-less chunk
+// streams (Mail/Web). Everything is deterministic in the seed.
+//
+// `scale` = 1.0 targets ~1/1000 of the paper's dataset sizes
+// (160 MB / 313 MB / 526 MB / 43 MB), which keeps single-core bench runs
+// in seconds while leaving deduplication ratios — which depend on
+// redundancy structure, not volume — at the paper's values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dataset.h"
+
+namespace sigma {
+
+// ---------------------------------------------------------------------------
+// Linux-like versioned source tree.
+// ---------------------------------------------------------------------------
+
+struct LinuxWorkloadConfig {
+  int versions = 12;          // retained kernel versions (backup generations)
+  int base_files = 140;       // files in the tree at version 1
+  std::uint32_t mean_file_bytes = 96 * 1024;
+  // Churn calibration: with V retained versions and per-version byte churn
+  // c, the exact dedup ratio is ~ V / (1 + (V-1)c). The paper's Linux
+  // dataset has DR ~ 8 (SC-4KB); c = file_change_prob * per-file damage.
+  // Insert/delete runs are kept rare because under static chunking a
+  // single shift re-fingerprints the whole file tail.
+  double file_change_prob = 0.20;   // P(file touched in a new version)
+  double block_change_frac = 0.06;  // fraction of a touched file's blocks
+  double insert_run_prob = 0.12;    // edit runs that insert/delete (vs replace)
+  double file_add_frac = 0.01;      // new files per version / base_files
+  std::uint64_t seed = 0x11AA;
+
+  /// Scale file count (dataset volume), preserving version structure.
+  static LinuxWorkloadConfig scaled(double scale);
+};
+
+/// Generates `versions` content backups of an evolving source tree.
+/// Files are block-structured text-like data; edits come in runs, so
+/// content-defined chunking localizes insertions better than static
+/// chunking — the SC-vs-CDC gap of Table 2.
+class LinuxGenerator {
+ public:
+  explicit LinuxGenerator(const LinuxWorkloadConfig& config);
+
+  std::vector<ContentBackup> content() const;
+
+ private:
+  LinuxWorkloadConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// VM image backups.
+// ---------------------------------------------------------------------------
+
+struct VmWorkloadConfig {
+  int vms = 8;
+  int windows_vms = 3;  // the rest are Linux guests
+  std::uint64_t image_bytes = 19ull * 1024 * 1024 + 512 * 1024;
+  int generations = 2;          // consecutive monthly fulls
+  double os_pool_frac = 0.55;   // image segments drawn from the per-OS pool
+  double unique_frac = 0.34;    // VM-private segments
+  double churn = 0.05;          // private blocks rewritten between fulls
+  std::uint32_t block_bytes = 4096;
+  /// Images share OS content in contiguous *segments* (runs of blocks),
+  /// the way real guest filesystems lay out OS files. Segment alignment is
+  /// what lets super-chunk-granularity routing detect cross-VM similarity.
+  std::uint32_t segment_blocks = 128;  // 512 KB segments
+  int small_files_per_vm = 6;   // config/metadata files alongside the image
+  std::uint64_t seed = 0x22BB;
+
+  static VmWorkloadConfig scaled(double scale);
+};
+
+/// Generates full-backup generations of VM disk images. Within a
+/// generation, same-OS images share OS-pool blocks; between generations a
+/// small churn rewrites private blocks. File sizes are extremely skewed
+/// (one multi-MB image per VM plus tiny config files) — the property that
+/// breaks Extreme Binning's balance in the paper's Fig. 8.
+class VmGenerator {
+ public:
+  explicit VmGenerator(const VmWorkloadConfig& config);
+
+  std::vector<ContentBackup> content() const;
+
+ private:
+  VmWorkloadConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// Mail/Web-style chunk traces (no file metadata).
+// ---------------------------------------------------------------------------
+
+struct StreamTraceConfig {
+  std::uint64_t logical_bytes = 0;
+  std::uint32_t chunk_bytes = 4096;
+  std::uint32_t mean_object_chunks = 16;  // message / page extent
+  /// Fraction of each session's bytes that are fresh objects; the rest is
+  /// a stable-order rescan of the archive. With S sessions the exact
+  /// dedup ratio is ~ S / (1 + (S-1) * fresh_fraction).
+  double fresh_fraction = 0.1;
+  int sessions = 12;             // backup generations the trace is split into
+  std::uint64_t seed = 0x33CC;
+};
+
+/// Archive-scan duplicate stream, modeling daily backups of a growing
+/// object store (mailboxes, web content): each session re-reads the
+/// archive in stable creation order — duplicate runs stay aligned across
+/// sessions, the locality property real backup streams have — and
+/// appends a configurable fraction of fresh objects. Produces trace-only
+/// datasets with has_file_metadata = false, like the FIU traces.
+class StreamTraceGenerator {
+ public:
+  StreamTraceGenerator(std::string name, const StreamTraceConfig& config);
+
+  Dataset trace() const;
+
+ private:
+  std::string name_;
+  StreamTraceConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// One-stop paper datasets (Table 2 rows), materialized as traces.
+// ---------------------------------------------------------------------------
+
+/// "Linux" row: versioned sources, SC-4KB unless a chunker is supplied.
+Dataset linux_dataset(double scale = 1.0, const Chunker* chunker = nullptr);
+
+/// "VM" row.
+Dataset vm_dataset(double scale = 1.0, const Chunker* chunker = nullptr);
+
+/// "Mail" row (DR ~ 10.5, trace-only).
+Dataset mail_dataset(double scale = 1.0);
+
+/// "Web" row (DR ~ 1.9, trace-only).
+Dataset web_dataset(double scale = 1.0);
+
+}  // namespace sigma

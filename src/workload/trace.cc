@@ -1,0 +1,160 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace sigma {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53445452;  // "SDTR"
+
+void put_u32(Buffer& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Buffer& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_string(Buffer& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  std::uint32_t u32() {
+    check(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    check(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    check(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  ByteView bytes(std::size_t n) {
+    check(n);
+    ByteView v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error("trace: truncated input");
+    }
+  }
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Buffer serialize_trace(const Dataset& dataset) {
+  Buffer out;
+  put_u32(out, kMagic);
+  put_string(out, dataset.name);
+  put_u32(out, dataset.has_file_metadata ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(dataset.backups.size()));
+  for (const auto& backup : dataset.backups) {
+    put_string(out, backup.session);
+    put_u32(out, static_cast<std::uint32_t>(backup.files.size()));
+    for (const auto& file : backup.files) {
+      put_string(out, file.path);
+      put_u64(out, file.chunks.size());
+      for (const auto& chunk : file.chunks) {
+        out.insert(out.end(), chunk.fp.bytes().begin(),
+                   chunk.fp.bytes().end());
+        put_u32(out, chunk.size);
+      }
+    }
+  }
+  return out;
+}
+
+Dataset deserialize_trace(ByteView blob) {
+  Reader reader(blob);
+  if (reader.u32() != kMagic) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  Dataset dataset;
+  dataset.name = reader.string();
+  dataset.has_file_metadata = reader.u32() != 0;
+  const std::uint32_t n_backups = reader.u32();
+  dataset.backups.reserve(n_backups);
+  for (std::uint32_t b = 0; b < n_backups; ++b) {
+    TraceBackup backup;
+    backup.session = reader.string();
+    const std::uint32_t n_files = reader.u32();
+    backup.files.reserve(n_files);
+    for (std::uint32_t f = 0; f < n_files; ++f) {
+      TraceFile file;
+      file.path = reader.string();
+      const std::uint64_t n_chunks = reader.u64();
+      file.chunks.reserve(n_chunks);
+      for (std::uint64_t c = 0; c < n_chunks; ++c) {
+        ChunkRecord chunk;
+        chunk.fp = Fingerprint::from_bytes(reader.bytes(Fingerprint::kSize));
+        chunk.size = reader.u32();
+        file.chunks.push_back(chunk);
+      }
+      backup.files.push_back(std::move(file));
+    }
+    dataset.backups.push_back(std::move(backup));
+  }
+  return dataset;
+}
+
+void write_trace(const Dataset& dataset, const std::filesystem::path& path) {
+  const Buffer blob = serialize_trace(dataset);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("trace: cannot open for write: " +
+                             path.string());
+  }
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) {
+    throw std::runtime_error("trace: short write: " + path.string());
+  }
+}
+
+Dataset read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("trace: cannot open: " + path.string());
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Buffer blob(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(blob.data()), size);
+  if (!in) {
+    throw std::runtime_error("trace: short read: " + path.string());
+  }
+  return deserialize_trace(ByteView{blob.data(), blob.size()});
+}
+
+}  // namespace sigma

@@ -1,0 +1,24 @@
+// Binary chunk-trace serialization. Lets a dataset be materialized once
+// (chunking + fingerprinting are the expensive steps) and replayed across
+// many simulation runs, and lets users bring their own traces to the
+// cluster simulator.
+#pragma once
+
+#include <filesystem>
+
+#include "workload/dataset.h"
+
+namespace sigma {
+
+/// Write a dataset's trace form to `path` (overwrites).
+void write_trace(const Dataset& dataset, const std::filesystem::path& path);
+
+/// Read a trace written by write_trace(). Throws on malformed input.
+Dataset read_trace(const std::filesystem::path& path);
+
+/// In-memory (de)serialization, used by the file functions and directly
+/// testable without touching the filesystem.
+Buffer serialize_trace(const Dataset& dataset);
+Dataset deserialize_trace(ByteView blob);
+
+}  // namespace sigma

@@ -1,0 +1,148 @@
+// Storage backends: memory and file implementations must behave
+// identically; I/O accounting must track operations.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "storage/backend.h"
+
+namespace sigma {
+namespace {
+
+Buffer bytes(const std::string& s) {
+  return Buffer(s.begin(), s.end());
+}
+
+class BackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "memory") {
+      backend_ = std::make_unique<MemoryBackend>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("sigma-backend-test-" + std::to_string(::getpid()));
+      std::filesystem::remove_all(dir_);
+      backend_ = std::make_unique<FileBackend>(dir_);
+    }
+  }
+
+  void TearDown() override {
+    backend_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<StorageBackend> backend_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(BackendTest, PutGetRoundTrip) {
+  const Buffer data = bytes("hello container");
+  backend_->put("k1", ByteView{data.data(), data.size()});
+  const auto got = backend_->get("k1");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, data);
+}
+
+TEST_P(BackendTest, GetMissingReturnsNullopt) {
+  EXPECT_FALSE(backend_->get("nope").has_value());
+}
+
+TEST_P(BackendTest, ExistsReflectsState) {
+  EXPECT_FALSE(backend_->exists("x"));
+  const Buffer data = bytes("v");
+  backend_->put("x", ByteView{data.data(), data.size()});
+  EXPECT_TRUE(backend_->exists("x"));
+}
+
+TEST_P(BackendTest, OverwriteReplaces) {
+  const Buffer a = bytes("aaa"), b = bytes("bb");
+  backend_->put("k", ByteView{a.data(), a.size()});
+  backend_->put("k", ByteView{b.data(), b.size()});
+  EXPECT_EQ(*backend_->get("k"), b);
+}
+
+TEST_P(BackendTest, RemoveDeletes) {
+  const Buffer a = bytes("a");
+  backend_->put("k", ByteView{a.data(), a.size()});
+  backend_->remove("k");
+  EXPECT_FALSE(backend_->exists("k"));
+  EXPECT_FALSE(backend_->get("k").has_value());
+}
+
+TEST_P(BackendTest, RemoveMissingIsNoop) {
+  backend_->remove("ghost");  // must not throw
+  EXPECT_FALSE(backend_->exists("ghost"));
+}
+
+TEST_P(BackendTest, KeysListsEverything) {
+  const Buffer a = bytes("1");
+  backend_->put("alpha", ByteView{a.data(), a.size()});
+  backend_->put("beta", ByteView{a.data(), a.size()});
+  auto keys = backend_->keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_P(BackendTest, EmptyValueAllowed) {
+  backend_->put("empty", {});
+  const auto got = backend_->get("empty");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_P(BackendTest, IoStatsCountOperations) {
+  const Buffer a = bytes("12345");
+  backend_->put("k", ByteView{a.data(), a.size()});
+  (void)backend_->get("k");
+  const IoStats stats = backend_->stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.bytes_written, 5u);
+  EXPECT_EQ(stats.bytes_read, 5u);
+}
+
+TEST_P(BackendTest, LargeBlobRoundTrip) {
+  Buffer big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  backend_->put("big", ByteView{big.data(), big.size()});
+  EXPECT_EQ(*backend_->get("big"), big);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest,
+                         ::testing::Values("memory", "file"));
+
+TEST(FileBackendTest, RejectsPathTraversalKeys) {
+  const auto dir = std::filesystem::temp_directory_path() / "sigma-fb-keys";
+  FileBackend backend(dir);
+  const Buffer a = bytes("x");
+  EXPECT_THROW(backend.put("../evil", ByteView{a.data(), a.size()}),
+               std::invalid_argument);
+  EXPECT_THROW(backend.put("a/b", ByteView{a.data(), a.size()}),
+               std::invalid_argument);
+  EXPECT_THROW(backend.put("", ByteView{a.data(), a.size()}),
+               std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendTest, PersistsAcrossInstances) {
+  const auto dir = std::filesystem::temp_directory_path() / "sigma-fb-persist";
+  std::filesystem::remove_all(dir);
+  {
+    FileBackend backend(dir);
+    const Buffer a = bytes("durable");
+    backend.put("k", ByteView{a.data(), a.size()});
+  }
+  {
+    FileBackend backend(dir);
+    const auto got = backend.get("k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, bytes("durable"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,110 @@
+// Bloom summary vector: no false negatives ever, bounded false positives,
+// RAM accounting, and its effect on the node's disk-lookup counts.
+#include <gtest/gtest.h>
+
+#include "common/hash_util.h"
+#include "node/dedup_node.h"
+#include "storage/bloom_filter.h"
+
+namespace sigma {
+namespace {
+
+Fingerprint fp(std::uint64_t id) {
+  return Fingerprint::from_uint64(mix64(id));
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(10000);
+  for (std::uint64_t i = 0; i < 10000; ++i) bloom.insert(fp(i));
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(bloom.may_contain(fp(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositivesBounded) {
+  BloomFilter bloom(10000, 8, 6);
+  for (std::uint64_t i = 0; i < 10000; ++i) bloom.insert(fp(i));
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    if (bloom.may_contain(fp(1000000 + i))) ++false_positives;
+  }
+  // 8 bits/entry, 6 probes => ~2.2% expected; allow 2x headroom.
+  EXPECT_LT(false_positives, kProbes * 45 / 1000);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter bloom(1000);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bloom.may_contain(fp(i)));
+  }
+}
+
+TEST(BloomFilterTest, EstimatedFppGrowsWithLoad) {
+  BloomFilter bloom(1000);
+  const double empty = bloom.estimated_fpp();
+  for (std::uint64_t i = 0; i < 1000; ++i) bloom.insert(fp(i));
+  EXPECT_GT(bloom.estimated_fpp(), empty);
+  EXPECT_LT(bloom.estimated_fpp(), 0.05);
+  EXPECT_EQ(bloom.inserted(), 1000u);
+}
+
+TEST(BloomFilterTest, RamScalesWithExpectedEntries) {
+  BloomFilter small(1000, 8);
+  BloomFilter big(100000, 8);
+  EXPECT_GT(big.ram_bytes(), small.ram_bytes() * 50);
+}
+
+TEST(BloomFilterTest, RejectsBadParameters) {
+  EXPECT_THROW(BloomFilter(0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 8, 0), std::invalid_argument);
+}
+
+// Node integration: first-write streams of fresh data should answer most
+// duplicate tests from the Bloom filter (negative => skip disk).
+TEST(BloomFilterTest, NodeSkipsDiskLookupsForFreshData) {
+  DedupNodeConfig cfg;
+  cfg.use_bloom_filter = true;
+  DedupNode node(0, cfg);
+  SuperChunk sc;
+  for (std::uint64_t i = 0; i < 256; ++i) sc.chunks.push_back({fp(i), 4096});
+  const auto r = node.write_super_chunk(0, sc);
+  // All chunks are new: nearly every disk lookup is avoided by the filter
+  // (a handful of false positives are acceptable).
+  EXPECT_GT(r.disk_lookups_avoided_by_bloom, 240u);
+  EXPECT_LT(r.disk_index_lookups, 16u);
+  EXPECT_EQ(r.unique_chunks, 256u);
+}
+
+TEST(BloomFilterTest, NodeStillFindsDuplicatesWithBloom) {
+  DedupNodeConfig cfg;
+  cfg.use_bloom_filter = true;
+  cfg.use_similarity_prefetch = false;  // force the disk-index path
+  cfg.prefetch_on_disk_hit = false;
+  DedupNode node(0, cfg);
+  SuperChunk sc;
+  for (std::uint64_t i = 0; i < 128; ++i) sc.chunks.push_back({fp(i), 4096});
+  node.write_super_chunk(0, sc);
+  const auto r = node.write_super_chunk(0, sc);
+  // Duplicates pass the Bloom filter (no false negatives) and resolve via
+  // the disk index.
+  EXPECT_EQ(r.duplicate_chunks, 128u);
+  EXPECT_EQ(r.unique_chunks, 0u);
+  EXPECT_EQ(r.disk_index_lookups, 128u);
+  EXPECT_EQ(r.disk_lookups_avoided_by_bloom, 0u);
+}
+
+TEST(BloomFilterTest, DisabledFilterAlwaysPaysDiskLookup) {
+  DedupNodeConfig cfg;
+  cfg.use_bloom_filter = false;
+  DedupNode node(0, cfg);
+  SuperChunk sc;
+  for (std::uint64_t i = 0; i < 64; ++i) sc.chunks.push_back({fp(i), 4096});
+  const auto r = node.write_super_chunk(0, sc);
+  EXPECT_EQ(r.disk_index_lookups, 64u);
+  EXPECT_EQ(r.disk_lookups_avoided_by_bloom, 0u);
+}
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,89 @@
+// On-disk chunk index model: exact mapping, disk-access metering,
+// first-writer-wins semantics, RAM estimate.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/chunk_index.h"
+
+namespace sigma {
+namespace {
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::from_uint64(id); }
+
+TEST(ChunkIndexTest, InsertLookup) {
+  ChunkIndex idx;
+  idx.insert(fp(1), {10, 3});
+  const auto got = idx.lookup(fp(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->container, 10u);
+  EXPECT_EQ(got->index, 3u);
+}
+
+TEST(ChunkIndexTest, LookupMissing) {
+  ChunkIndex idx;
+  EXPECT_FALSE(idx.lookup(fp(404)).has_value());
+}
+
+TEST(ChunkIndexTest, FirstLocationWins) {
+  ChunkIndex idx;
+  idx.insert(fp(1), {10, 0});
+  idx.insert(fp(1), {20, 5});  // duplicate insert ignored
+  EXPECT_EQ(idx.lookup(fp(1))->container, 10u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(ChunkIndexTest, StatsMeterLookups) {
+  ChunkIndex idx;
+  idx.insert(fp(1), {1, 0});
+  (void)idx.lookup(fp(1));
+  (void)idx.lookup(fp(2));
+  const auto stats = idx.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(ChunkIndexTest, PeekDoesNotMeter) {
+  ChunkIndex idx;
+  idx.insert(fp(1), {1, 0});
+  EXPECT_TRUE(idx.peek(fp(1)).has_value());
+  EXPECT_FALSE(idx.peek(fp(2)).has_value());
+  EXPECT_EQ(idx.stats().lookups, 0u);
+}
+
+TEST(ChunkIndexTest, Contains) {
+  ChunkIndex idx;
+  idx.insert(fp(7), {0, 0});
+  EXPECT_TRUE(idx.contains(fp(7)));
+  EXPECT_FALSE(idx.contains(fp(8)));
+}
+
+TEST(ChunkIndexTest, RamEstimate40BytesPerEntry) {
+  ChunkIndex idx;
+  for (std::uint64_t i = 0; i < 100; ++i) idx.insert(fp(i), {i, 0});
+  EXPECT_EQ(idx.estimated_ram_bytes(), 4000u);
+}
+
+TEST(ChunkIndexTest, ConcurrentInsertsAndLookups) {
+  ChunkIndex idx;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&idx, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(t) * kPerThread + i;
+        idx.insert(fp(id), {id, 0});
+        (void)idx.lookup(fp(id));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.size(), kThreads * kPerThread);
+  EXPECT_EQ(idx.stats().hits, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,313 @@
+// Chunkers: coverage invariants (every byte covered exactly once), size
+// bounds, content-defined shift tolerance, Rabin rolling-hash correctness.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "chunking/chunker.h"
+#include "chunking/rabin.h"
+#include "common/random.h"
+
+namespace sigma {
+namespace {
+
+Buffer random_data(std::size_t n, std::uint64_t seed) {
+  Buffer out;
+  out.reserve(n);
+  Rng rng(seed);
+  while (out.size() < n) {
+    const std::uint64_t v = rng.next();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+void expect_covers(const std::vector<ChunkBoundary>& chunks,
+                   std::size_t total) {
+  std::uint64_t offset = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, offset);
+    EXPECT_GT(c.size, 0u);
+    offset += c.size;
+  }
+  EXPECT_EQ(offset, total);
+}
+
+// --- Rabin ------------------------------------------------------------------
+
+TEST(RabinTest, TableDrivenMatchesReferenceAppend) {
+  // Rolling over fewer bytes than the window is a pure polynomial append:
+  // compare against the bitwise reference implementation.
+  const Buffer data = random_data(RabinHash::kWindowSize - 1, 1);
+  RabinHash rolling;
+  std::uint64_t h = 0;
+  for (std::uint8_t b : data) {
+    rolling.roll(b);
+    h = rabin_detail::append_byte_reference(h, b);
+  }
+  EXPECT_EQ(rolling.value(), h);
+}
+
+TEST(RabinTest, WindowedHashDependsOnlyOnWindowContents) {
+  // After rolling through different prefixes, identical final windows must
+  // produce identical hashes.
+  const Buffer prefix_a = random_data(1000, 2);
+  const Buffer prefix_b = random_data(500, 3);
+  const Buffer window = random_data(RabinHash::kWindowSize, 4);
+
+  RabinHash a, b;
+  for (std::uint8_t x : prefix_a) a.roll(x);
+  for (std::uint8_t x : prefix_b) b.roll(x);
+  for (std::uint8_t x : window) {
+    a.roll(x);
+    b.roll(x);
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(RabinTest, HashFitsInDegreeBits) {
+  RabinHash h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = h.roll(static_cast<std::uint8_t>(rng.next()));
+    EXPECT_LT(v, 1ull << 53);
+  }
+}
+
+TEST(RabinTest, ResetClearsState) {
+  RabinHash h;
+  for (std::uint8_t b : random_data(100, 6)) h.roll(b);
+  h.reset();
+  EXPECT_EQ(h.value(), 0u);
+  RabinHash fresh;
+  const Buffer data = random_data(64, 7);
+  std::uint64_t hv = 0, fv = 0;
+  for (std::uint8_t b : data) {
+    hv = h.roll(b);
+    fv = fresh.roll(b);
+  }
+  EXPECT_EQ(hv, fv);
+}
+
+TEST(RabinTest, HashBytesMatchesIncrementalReference) {
+  const Buffer data = random_data(123, 8);
+  std::uint64_t h = 0;
+  for (std::uint8_t b : data) h = rabin_detail::append_byte_reference(h, b);
+  EXPECT_EQ(RabinHash::hash_bytes(ByteView{data.data(), data.size()}), h);
+}
+
+// --- FixedChunker -----------------------------------------------------------
+
+TEST(FixedChunkerTest, ExactMultiple) {
+  FixedChunker c(4096);
+  const Buffer data = random_data(4096 * 4, 10);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& ch : chunks) EXPECT_EQ(ch.size, 4096u);
+  expect_covers(chunks, data.size());
+}
+
+TEST(FixedChunkerTest, TailChunkSmaller) {
+  FixedChunker c(4096);
+  const Buffer data = random_data(10000, 11);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks.back().size, 10000u - 2 * 4096u);
+  expect_covers(chunks, data.size());
+}
+
+TEST(FixedChunkerTest, EmptyInput) {
+  FixedChunker c(4096);
+  EXPECT_TRUE(c.chunk({}).empty());
+}
+
+TEST(FixedChunkerTest, InputSmallerThanChunk) {
+  FixedChunker c(4096);
+  const Buffer data = random_data(100, 12);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size, 100u);
+}
+
+TEST(FixedChunkerTest, RejectsZeroSize) {
+  EXPECT_THROW(FixedChunker(0), std::invalid_argument);
+}
+
+TEST(FixedChunkerTest, Name) {
+  EXPECT_EQ(FixedChunker(4096).name(), "SC-4KB");
+  EXPECT_EQ(FixedChunker(100).name(), "SC-100B");
+}
+
+// --- CdcChunker -------------------------------------------------------------
+
+TEST(CdcChunkerTest, CoversInput) {
+  const auto c = CdcChunker::with_average(4096);
+  const Buffer data = random_data(1 << 20, 13);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  expect_covers(chunks, data.size());
+}
+
+TEST(CdcChunkerTest, RespectsSizeBounds) {
+  CdcChunker c(1024, 4096, 16384);
+  const Buffer data = random_data(1 << 20, 14);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].size, 1024u);
+    EXPECT_LE(chunks[i].size, 16384u);
+  }
+}
+
+TEST(CdcChunkerTest, AverageRoughlyMatches) {
+  const auto c = CdcChunker::with_average(4096);
+  const Buffer data = random_data(4 << 20, 15);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  const double avg = static_cast<double>(data.size()) /
+                     static_cast<double>(chunks.size());
+  EXPECT_GT(avg, 4096.0 * 0.5);
+  EXPECT_LT(avg, 4096.0 * 2.0);
+}
+
+TEST(CdcChunkerTest, DeterministicAcrossCalls) {
+  const auto c = CdcChunker::with_average(4096);
+  const Buffer data = random_data(256 * 1024, 16);
+  const auto a = c.chunk(ByteView{data.data(), data.size()});
+  const auto b = c.chunk(ByteView{data.data(), data.size()});
+  EXPECT_EQ(a, b);
+}
+
+TEST(CdcChunkerTest, BoundariesSurviveShift) {
+  // Prepend bytes: after the modification point, most boundaries must
+  // realign — the property that gives CDC its dedup advantage.
+  const Buffer data = random_data(512 * 1024, 17);
+  Buffer shifted;
+  shifted.push_back(0xAB);
+  shifted.insert(shifted.end(), data.begin(), data.end());
+
+  const auto c = CdcChunker::with_average(4096);
+  const auto base = c.chunk(ByteView{data.data(), data.size()});
+  const auto moved = c.chunk(ByteView{shifted.data(), shifted.size()});
+
+  // Collect absolute end offsets of chunks (cut points) in content terms.
+  std::vector<std::uint64_t> cuts_base, cuts_moved;
+  for (const auto& ch : base) cuts_base.push_back(ch.offset + ch.size);
+  for (const auto& ch : moved) {
+    if (ch.offset + ch.size > 1) cuts_moved.push_back(ch.offset + ch.size - 1);
+  }
+  std::size_t common = 0;
+  std::size_t j = 0;
+  for (std::uint64_t cut : cuts_base) {
+    while (j < cuts_moved.size() && cuts_moved[j] < cut) ++j;
+    if (j < cuts_moved.size() && cuts_moved[j] == cut) ++common;
+  }
+  EXPECT_GT(common, cuts_base.size() * 8 / 10);
+}
+
+TEST(CdcChunkerTest, RejectsNonPowerOfTwoAverage) {
+  EXPECT_THROW(CdcChunker(100, 3000, 10000), std::invalid_argument);
+}
+
+TEST(CdcChunkerTest, RejectsBadOrdering) {
+  EXPECT_THROW(CdcChunker(8192, 4096, 16384), std::invalid_argument);
+  EXPECT_THROW(CdcChunker(0, 4096, 16384), std::invalid_argument);
+}
+
+TEST(CdcChunkerTest, AllZeroDataStillBounded) {
+  const auto c = CdcChunker::with_average(4096);
+  Buffer zeros(1 << 20, 0);
+  const auto chunks = c.chunk(ByteView{zeros.data(), zeros.size()});
+  expect_covers(chunks, zeros.size());
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_LE(chunks[i].size, 4096u * 4);
+  }
+}
+
+// --- TttdChunker ------------------------------------------------------------
+
+TEST(TttdChunkerTest, CoversInput) {
+  const auto c = TttdChunker::paper_default();
+  const Buffer data = random_data(1 << 20, 18);
+  expect_covers(c.chunk(ByteView{data.data(), data.size()}), data.size());
+}
+
+TEST(TttdChunkerTest, RespectsPaperThresholds) {
+  const auto c = TttdChunker::paper_default();
+  const Buffer data = random_data(2 << 20, 19);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].size, 1024u);
+    EXPECT_LE(chunks[i].size, 32768u);
+  }
+}
+
+TEST(TttdChunkerTest, MeanBetweenMinorAndMax) {
+  const auto c = TttdChunker::paper_default();
+  const Buffer data = random_data(4 << 20, 20);
+  const auto chunks = c.chunk(ByteView{data.data(), data.size()});
+  const double avg = static_cast<double>(data.size()) /
+                     static_cast<double>(chunks.size());
+  EXPECT_GT(avg, 2048.0);
+  EXPECT_LT(avg, 8192.0);
+}
+
+TEST(TttdChunkerTest, Deterministic) {
+  const auto c = TttdChunker::paper_default();
+  const Buffer data = random_data(512 * 1024, 21);
+  EXPECT_EQ(c.chunk(ByteView{data.data(), data.size()}),
+            c.chunk(ByteView{data.data(), data.size()}));
+}
+
+TEST(TttdChunkerTest, RejectsBadConfig) {
+  EXPECT_THROW(TttdChunker(0, 2048, 4096, 32768), std::invalid_argument);
+  EXPECT_THROW(TttdChunker(1024, 4096, 2048, 32768), std::invalid_argument);
+  EXPECT_THROW(TttdChunker(1024, 2048, 4096, 2048), std::invalid_argument);
+}
+
+// --- Factory ----------------------------------------------------------------
+
+TEST(ChunkerFactoryTest, MakesAllSchemes) {
+  EXPECT_EQ(make_chunker(ChunkingScheme::kStatic, 4096)->name(), "SC-4KB");
+  EXPECT_EQ(make_chunker(ChunkingScheme::kCdc, 4096)->name(), "CDC-4KB");
+  EXPECT_EQ(make_chunker(ChunkingScheme::kTttd, 4096)->name(), "TTTD");
+}
+
+TEST(ChunkerFactoryTest, ToString) {
+  EXPECT_STREQ(to_string(ChunkingScheme::kStatic), "SC");
+  EXPECT_STREQ(to_string(ChunkingScheme::kCdc), "CDC");
+  EXPECT_STREQ(to_string(ChunkingScheme::kTttd), "TTTD");
+}
+
+// --- Parameterized coverage sweep over schemes and sizes --------------------
+
+struct ChunkerCase {
+  ChunkingScheme scheme;
+  std::uint32_t avg;
+  std::size_t data_size;
+};
+
+class ChunkerCoverageTest : public ::testing::TestWithParam<ChunkerCase> {};
+
+TEST_P(ChunkerCoverageTest, EveryByteCoveredExactlyOnce) {
+  const auto& p = GetParam();
+  const auto chunker = make_chunker(p.scheme, p.avg);
+  const Buffer data = random_data(p.data_size, 1000 + p.data_size);
+  expect_covers(chunker->chunk(ByteView{data.data(), data.size()}),
+                data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSizes, ChunkerCoverageTest,
+    ::testing::Values(
+        ChunkerCase{ChunkingScheme::kStatic, 2048, 100000},
+        ChunkerCase{ChunkingScheme::kStatic, 4096, 1},
+        ChunkerCase{ChunkingScheme::kStatic, 8192, 8192},
+        ChunkerCase{ChunkingScheme::kCdc, 2048, 300000},
+        ChunkerCase{ChunkingScheme::kCdc, 4096, 65536},
+        ChunkerCase{ChunkingScheme::kCdc, 8192, 1000},
+        ChunkerCase{ChunkingScheme::kCdc, 16384, 500000},
+        ChunkerCase{ChunkingScheme::kTttd, 4096, 250000},
+        ChunkerCase{ChunkingScheme::kTttd, 4096, 100}));
+
+}  // namespace
+}  // namespace sigma

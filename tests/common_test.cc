@@ -1,0 +1,206 @@
+// RNG determinism and distributions, running stats, table printing, byte
+// formatting, thread pool behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+
+namespace sigma {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.08);
+  }
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(17);
+  int counts[10] = {};
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 800.0);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewsTowardHead) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(19);
+  int head = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (zipf.sample(rng) == 0) ++head;
+  }
+  // With s=1, P(0) = 1/H_100 ~ 0.192.
+  EXPECT_GT(head, kTrials / 10);
+}
+
+TEST(ZipfSamplerTest, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, MeanAndStddev) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // population stddev
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStatsTest, TrackedExtremes) {
+  RunningStats s;
+  s.add_tracked(5.0);
+  s.add_tracked(-1.0);
+  s.add_tracked(10.0);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(3ull << 20), "3.00 MB");
+  EXPECT_EQ(format_bytes(5ull << 30), "5.00 GB");
+}
+
+TEST(TablePrinterTest, AlignsAndPrintsAllRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);  // header+sep+2
+}
+
+TEST(TablePrinterTest, RejectsRaggedRows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&count] { count++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.seconds(), 0.005);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,145 @@
+// Container structure: payload/meta append modes, serialization round
+// trips, metadata-only section reads.
+#include <gtest/gtest.h>
+
+#include "storage/container.h"
+
+namespace sigma {
+namespace {
+
+Buffer bytes(const std::string& s) { return Buffer(s.begin(), s.end()); }
+
+Fingerprint fp_of(const std::string& s) {
+  return Fingerprint::of(as_bytes(s));
+}
+
+TEST(ContainerTest, AppendTracksOffsetsAndSizes) {
+  Container c(7);
+  const Buffer a = bytes("aaaa"), b = bytes("bbbbbb");
+  EXPECT_EQ(c.append(fp_of("a"), ByteView{a.data(), a.size()}), 0u);
+  EXPECT_EQ(c.append(fp_of("b"), ByteView{b.data(), b.size()}), 4u);
+  EXPECT_EQ(c.id(), 7u);
+  EXPECT_EQ(c.chunk_count(), 2u);
+  EXPECT_EQ(c.data_size(), 10u);
+  ASSERT_EQ(c.metadata().size(), 2u);
+  EXPECT_EQ(c.metadata()[0].fp, fp_of("a"));
+  EXPECT_EQ(c.metadata()[1].offset, 4u);
+  EXPECT_EQ(c.metadata()[1].length, 6u);
+}
+
+TEST(ContainerTest, ChunkDataReturnsPayload) {
+  Container c(1);
+  const Buffer a = bytes("hello"), b = bytes("world!");
+  c.append(fp_of("a"), ByteView{a.data(), a.size()});
+  c.append(fp_of("b"), ByteView{b.data(), b.size()});
+  const ByteView v = c.chunk_data(1);
+  EXPECT_EQ(Buffer(v.begin(), v.end()), b);
+}
+
+TEST(ContainerTest, ChunkDataOutOfRangeThrows) {
+  Container c(1);
+  EXPECT_THROW(c.chunk_data(0), std::out_of_range);
+}
+
+TEST(ContainerTest, MetaOnlyAppend) {
+  Container c(2);
+  c.append_meta(fp_of("x"), 4096);
+  c.append_meta(fp_of("y"), 100);
+  EXPECT_EQ(c.data_size(), 4196u);
+  EXPECT_FALSE(c.has_payloads());
+  EXPECT_THROW(c.chunk_data(0), std::logic_error);
+}
+
+TEST(ContainerTest, MixingModesThrows) {
+  Container c(3);
+  const Buffer a = bytes("a");
+  c.append(fp_of("a"), ByteView{a.data(), a.size()});
+  EXPECT_THROW(c.append_meta(fp_of("b"), 10), std::logic_error);
+
+  Container d(4);
+  d.append_meta(fp_of("a"), 10);
+  EXPECT_THROW(d.append(fp_of("b"), ByteView{a.data(), a.size()}),
+               std::logic_error);
+}
+
+TEST(ContainerTest, SerializeRoundTripWithPayloads) {
+  Container c(42);
+  const Buffer a = bytes("payload-one"), b = bytes("payload-two-longer");
+  c.append(fp_of("1"), ByteView{a.data(), a.size()});
+  c.append(fp_of("2"), ByteView{b.data(), b.size()});
+
+  const Buffer blob = c.serialize();
+  const Container d =
+      Container::deserialize(ByteView{blob.data(), blob.size()});
+  EXPECT_EQ(d.id(), 42u);
+  EXPECT_EQ(d.chunk_count(), 2u);
+  EXPECT_EQ(d.metadata(), c.metadata());
+  ASSERT_TRUE(d.has_payloads());
+  const ByteView v = d.chunk_data(0);
+  EXPECT_EQ(Buffer(v.begin(), v.end()), a);
+}
+
+TEST(ContainerTest, SerializeRoundTripMetaOnly) {
+  Container c(43);
+  c.append_meta(fp_of("1"), 4096);
+  c.append_meta(fp_of("2"), 1024);
+  const Buffer blob = c.serialize();
+  const Container d =
+      Container::deserialize(ByteView{blob.data(), blob.size()});
+  EXPECT_EQ(d.id(), 43u);
+  EXPECT_EQ(d.metadata(), c.metadata());
+  EXPECT_EQ(d.data_size(), 5120u);
+  EXPECT_FALSE(d.has_payloads());
+}
+
+TEST(ContainerTest, EmptyContainerRoundTrip) {
+  Container c(0);
+  const Buffer blob = c.serialize();
+  const Container d =
+      Container::deserialize(ByteView{blob.data(), blob.size()});
+  EXPECT_EQ(d.chunk_count(), 0u);
+  EXPECT_EQ(d.data_size(), 0u);
+}
+
+TEST(ContainerTest, MetadataSectionRoundTrip) {
+  Container c(9);
+  const Buffer a = bytes("zzz");
+  c.append(fp_of("m1"), ByteView{a.data(), a.size()});
+  c.append(fp_of("m2"), ByteView{a.data(), a.size()});
+  const Buffer meta = c.serialize_metadata();
+  const auto parsed =
+      Container::deserialize_metadata(ByteView{meta.data(), meta.size()});
+  EXPECT_EQ(parsed, c.metadata());
+  // The metadata section must not include payload bytes.
+  EXPECT_LT(meta.size(), c.serialize().size());
+}
+
+TEST(ContainerTest, DeserializeRejectsBadMagic) {
+  Buffer junk(64, 0xFF);
+  EXPECT_THROW(Container::deserialize(ByteView{junk.data(), junk.size()}),
+               std::runtime_error);
+}
+
+TEST(ContainerTest, DeserializeRejectsTruncated) {
+  Container c(5);
+  const Buffer a = bytes("data");
+  c.append(fp_of("t"), ByteView{a.data(), a.size()});
+  Buffer blob = c.serialize();
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(Container::deserialize(ByteView{blob.data(), blob.size()}),
+               std::runtime_error);
+}
+
+TEST(ContainerTest, EmptyPayloadChunkAllowed) {
+  Container c(6);
+  c.append(fp_of("empty"), {});
+  EXPECT_EQ(c.chunk_count(), 1u);
+  EXPECT_EQ(c.data_size(), 0u);
+  const Buffer blob = c.serialize();
+  const Container d =
+      Container::deserialize(ByteView{blob.data(), blob.size()});
+  EXPECT_EQ(d.metadata()[0].length, 0u);
+}
+
+}  // namespace
+}  // namespace sigma

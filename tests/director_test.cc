@@ -1,0 +1,103 @@
+// Director: session and file-recipe management.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "cluster/director.h"
+
+namespace sigma {
+namespace {
+
+FileRecipe make_recipe(const std::string& path, int chunks) {
+  FileRecipe r;
+  r.path = path;
+  for (int i = 0; i < chunks; ++i) {
+    r.chunks.push_back({Fingerprint::from_uint64(static_cast<std::uint64_t>(i)),
+                        4096, static_cast<NodeId>(i % 3)});
+  }
+  return r;
+}
+
+TEST(DirectorTest, RecordAndFind) {
+  Director d;
+  d.record_file("s1", make_recipe("a.txt", 4));
+  const auto got = d.find("s1", "a.txt");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->path, "a.txt");
+  EXPECT_EQ(got->chunks.size(), 4u);
+  EXPECT_EQ(got->logical_bytes(), 4u * 4096);
+}
+
+TEST(DirectorTest, FindUnknownSession) {
+  Director d;
+  EXPECT_FALSE(d.find("nope", "a").has_value());
+}
+
+TEST(DirectorTest, FindUnknownFile) {
+  Director d;
+  d.record_file("s1", make_recipe("a", 1));
+  EXPECT_FALSE(d.find("s1", "b").has_value());
+}
+
+TEST(DirectorTest, ReRecordReplaces) {
+  Director d;
+  d.record_file("s1", make_recipe("a", 1));
+  d.record_file("s1", make_recipe("a", 9));
+  EXPECT_EQ(d.find("s1", "a")->chunks.size(), 9u);
+  EXPECT_EQ(d.file_count("s1"), 1u);
+}
+
+TEST(DirectorTest, SessionsAndFilesListed) {
+  Director d;
+  d.record_file("monday", make_recipe("x", 1));
+  d.record_file("monday", make_recipe("y", 1));
+  d.record_file("tuesday", make_recipe("z", 1));
+  auto sessions = d.sessions();
+  std::sort(sessions.begin(), sessions.end());
+  EXPECT_EQ(sessions, (std::vector<std::string>{"monday", "tuesday"}));
+  auto files = d.files("monday");
+  std::sort(files.begin(), files.end());
+  EXPECT_EQ(files, (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(d.files("ghost").empty());
+  EXPECT_EQ(d.session_count(), 2u);
+  EXPECT_EQ(d.file_count("tuesday"), 1u);
+  EXPECT_EQ(d.file_count("ghost"), 0u);
+}
+
+TEST(DirectorTest, SameFileNameAcrossSessionsIsolated) {
+  Director d;
+  d.record_file("s1", make_recipe("a", 1));
+  d.record_file("s2", make_recipe("a", 5));
+  EXPECT_EQ(d.find("s1", "a")->chunks.size(), 1u);
+  EXPECT_EQ(d.find("s2", "a")->chunks.size(), 5u);
+}
+
+TEST(DirectorTest, ConcurrentRecording) {
+  Director d;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&d, t] {
+      for (int i = 0; i < 250; ++i) {
+        d.record_file("s" + std::to_string(t),
+                      make_recipe("f" + std::to_string(i), 2));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(d.session_count(), 4u);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(d.file_count("s" + std::to_string(t)), 250u);
+  }
+}
+
+TEST(DirectorTest, EmptyRecipeAllowed) {
+  Director d;
+  d.record_file("s", make_recipe("empty", 0));
+  const auto got = d.find("s", "empty");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->logical_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sigma

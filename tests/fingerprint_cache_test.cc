@@ -1,0 +1,126 @@
+// Chunk-fingerprint cache: container-granular LRU semantics, fingerprint
+// lookup across cached containers, eviction bookkeeping, hit statistics.
+#include <gtest/gtest.h>
+
+#include "storage/fingerprint_cache.h"
+
+namespace sigma {
+namespace {
+
+Fingerprint fp(std::uint64_t id) { return Fingerprint::from_uint64(id); }
+
+std::vector<ChunkMeta> container_meta(std::uint64_t first, int n) {
+  std::vector<ChunkMeta> meta;
+  for (int i = 0; i < n; ++i) {
+    meta.push_back({fp(first + static_cast<std::uint64_t>(i)),
+                    static_cast<std::uint64_t>(i) * 4096, 4096});
+  }
+  return meta;
+}
+
+TEST(FingerprintCacheTest, LookupHitAfterInsert) {
+  FingerprintCache cache(4);
+  cache.insert(1, container_meta(100, 8));
+  const auto got = cache.lookup(fp(103));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(FingerprintCacheTest, LookupMissOnUnknown) {
+  FingerprintCache cache(4);
+  cache.insert(1, container_meta(100, 8));
+  EXPECT_FALSE(cache.lookup(fp(999)).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(FingerprintCacheTest, ContainsContainer) {
+  FingerprintCache cache(4);
+  EXPECT_FALSE(cache.contains_container(1));
+  cache.insert(1, container_meta(0, 4));
+  EXPECT_TRUE(cache.contains_container(1));
+}
+
+TEST(FingerprintCacheTest, EvictsLeastRecentlyUsed) {
+  FingerprintCache cache(2);
+  cache.insert(1, container_meta(100, 4));
+  cache.insert(2, container_meta(200, 4));
+  // Touch container 1 so container 2 becomes LRU.
+  (void)cache.lookup(fp(100));
+  cache.insert(3, container_meta(300, 4));
+  EXPECT_TRUE(cache.contains_container(1));
+  EXPECT_FALSE(cache.contains_container(2));
+  EXPECT_TRUE(cache.contains_container(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(FingerprintCacheTest, EvictionRemovesFingerprints) {
+  FingerprintCache cache(1);
+  cache.insert(1, container_meta(100, 4));
+  cache.insert(2, container_meta(200, 4));
+  EXPECT_FALSE(cache.lookup(fp(100)).has_value());
+  EXPECT_TRUE(cache.lookup(fp(200)).has_value());
+}
+
+TEST(FingerprintCacheTest, ReinsertExistingRefreshesInsteadOfDuplicating) {
+  FingerprintCache cache(2);
+  cache.insert(1, container_meta(100, 4));
+  cache.insert(1, container_meta(100, 4));
+  EXPECT_EQ(cache.cached_containers(), 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(FingerprintCacheTest, CapacityRespected) {
+  FingerprintCache cache(3);
+  for (ContainerId c = 0; c < 10; ++c) {
+    cache.insert(c, container_meta(c * 1000, 4));
+  }
+  EXPECT_EQ(cache.cached_containers(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 7u);
+}
+
+TEST(FingerprintCacheTest, HitRatioComputed) {
+  FingerprintCache cache(2);
+  cache.insert(1, container_meta(0, 4));
+  (void)cache.lookup(fp(0));   // hit
+  (void)cache.lookup(fp(1));   // hit
+  (void)cache.lookup(fp(99));  // miss
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_NEAR(stats.hit_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(FingerprintCacheTest, EmptyStatsZeroRatio) {
+  FingerprintCache cache(1);
+  EXPECT_EQ(cache.stats().hit_ratio(), 0.0);
+}
+
+TEST(FingerprintCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(FingerprintCache(0), std::invalid_argument);
+}
+
+TEST(FingerprintCacheTest, LookupPromotesContainer) {
+  FingerprintCache cache(2);
+  cache.insert(1, container_meta(100, 2));
+  cache.insert(2, container_meta(200, 2));
+  // 1 is LRU; touching it promotes it, so inserting 3 evicts 2.
+  (void)cache.lookup(fp(101));
+  cache.insert(3, container_meta(300, 2));
+  EXPECT_TRUE(cache.contains_container(1));
+  EXPECT_FALSE(cache.contains_container(2));
+}
+
+TEST(FingerprintCacheTest, ManyContainersStressLru) {
+  FingerprintCache cache(16);
+  for (ContainerId c = 0; c < 200; ++c) {
+    cache.insert(c, container_meta(c * 100, 8));
+    // Keep container 0 hot so it survives.
+    if (c > 0) (void)cache.lookup(fp(0));
+  }
+  EXPECT_TRUE(cache.contains_container(0));
+  EXPECT_EQ(cache.cached_containers(), 16u);
+}
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,127 @@
+// Fingerprint value semantics: ordering, hex round-trips, prefix mapping,
+// and hashing behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/fingerprint.h"
+#include "common/hash_util.h"
+
+namespace sigma {
+namespace {
+
+TEST(FingerprintTest, DefaultIsZero) {
+  Fingerprint fp;
+  EXPECT_EQ(fp.hex(), std::string(40, '0'));
+  EXPECT_EQ(fp.prefix64(), 0u);
+}
+
+TEST(FingerprintTest, OfSha1MatchesKnownDigest) {
+  const std::string data = "abc";
+  const Fingerprint fp = Fingerprint::of(as_bytes(data));
+  EXPECT_EQ(fp.hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(FingerprintTest, OfMd5IsZeroExtended) {
+  const std::string data = "abc";
+  const Fingerprint fp = Fingerprint::of(as_bytes(data), HashAlgorithm::kMd5);
+  EXPECT_EQ(fp.hex(), "900150983cd24fb0d6963f7d28e17f7200000000");
+}
+
+TEST(FingerprintTest, HexRoundTrip) {
+  const Fingerprint fp = Fingerprint::of(as_bytes(std::string("roundtrip")));
+  EXPECT_EQ(Fingerprint::from_hex(fp.hex()), fp);
+}
+
+TEST(FingerprintTest, FromHexRejectsBadLength) {
+  EXPECT_THROW(Fingerprint::from_hex("abcd"), std::invalid_argument);
+  EXPECT_THROW(Fingerprint::from_hex(std::string(39, 'a')),
+               std::invalid_argument);
+  EXPECT_THROW(Fingerprint::from_hex(std::string(41, 'a')),
+               std::invalid_argument);
+}
+
+TEST(FingerprintTest, FromHexRejectsBadDigit) {
+  EXPECT_THROW(Fingerprint::from_hex(std::string(40, 'g')),
+               std::invalid_argument);
+}
+
+TEST(FingerprintTest, FromHexAcceptsUppercase) {
+  const Fingerprint fp = Fingerprint::of(as_bytes(std::string("upper")));
+  std::string upper = fp.hex();
+  std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+  EXPECT_EQ(Fingerprint::from_hex(upper), fp);
+}
+
+TEST(FingerprintTest, FromBytesRoundTrip) {
+  const Fingerprint fp = Fingerprint::of(as_bytes(std::string("bytes")));
+  const auto& raw = fp.bytes();
+  EXPECT_EQ(Fingerprint::from_bytes(ByteView{raw.data(), raw.size()}), fp);
+}
+
+TEST(FingerprintTest, FromBytesRejectsWrongLength) {
+  Buffer short_buf(10, 0);
+  EXPECT_THROW(
+      Fingerprint::from_bytes(ByteView{short_buf.data(), short_buf.size()}),
+      std::invalid_argument);
+}
+
+TEST(FingerprintTest, FromUint64OrderingMatchesIntegerOrdering) {
+  const auto a = Fingerprint::from_uint64(1);
+  const auto b = Fingerprint::from_uint64(2);
+  const auto c = Fingerprint::from_uint64(0x8000000000000000ull);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.prefix64(), 1u);
+  EXPECT_EQ(c.prefix64(), 0x8000000000000000ull);
+}
+
+TEST(FingerprintTest, ComparisonIsLexicographic) {
+  const auto a = Fingerprint::of(as_bytes(std::string("a")));
+  const auto b = Fingerprint::of(as_bytes(std::string("b")));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+}
+
+TEST(FingerprintTest, StdHashDistinguishes) {
+  std::unordered_set<Fingerprint> set;
+  for (int i = 0; i < 1000; ++i) {
+    set.insert(Fingerprint::of(as_bytes("item-" + std::to_string(i))));
+  }
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(FingerprintTest, SortedSetOrdersByPrefix) {
+  std::set<Fingerprint> set;
+  for (int i = 0; i < 100; ++i) {
+    set.insert(Fingerprint::from_uint64(mix64(i)));
+  }
+  std::uint64_t prev = 0;
+  for (const auto& fp : set) {
+    EXPECT_GE(fp.prefix64(), prev);
+    prev = fp.prefix64();
+  }
+}
+
+TEST(HashUtilTest, Mix64IsBijectiveOnSamples) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashUtilTest, Fnv1a64KnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a64(std::string("")), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a64(std::string("a")), 0xAF63DC4C8601EC8Cull);
+}
+
+TEST(HashUtilTest, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine64(1, 2), hash_combine64(2, 1));
+}
+
+}  // namespace
+}  // namespace sigma

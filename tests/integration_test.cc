@@ -1,0 +1,204 @@
+// Cross-module integration: trace-driven evaluation pipelines mirroring
+// the paper's experiments at miniature scale, multi-stream concurrency,
+// scheme-vs-scheme orderings that the evaluation section asserts.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/backup_client.h"
+#include "cluster/cluster.h"
+#include "common/hash_util.h"
+#include "common/random.h"
+#include "core/sigma_dedupe.h"
+#include "workload/generators.h"
+
+namespace sigma {
+namespace {
+
+ClusterConfig sim_config(RoutingScheme scheme, std::size_t nodes) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.scheme = scheme;
+  cfg.super_chunk_bytes = 256 * 1024;
+  return cfg;
+}
+
+double run_edr(const Dataset& ds, RoutingScheme scheme, std::size_t nodes,
+               double sdr) {
+  Cluster cluster(sim_config(scheme, nodes));
+  cluster.backup_dataset(ds);
+  return cluster.report().effective_dedup_ratio() / sdr;
+}
+
+class EvaluationShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    linux_ = new Dataset(linux_dataset(0.25));
+    sdr_ = exact_dedup_ratio(*linux_);
+  }
+  static void TearDownTestSuite() {
+    delete linux_;
+    linux_ = nullptr;
+  }
+  static Dataset* linux_;
+  static double sdr_;
+};
+
+Dataset* EvaluationShapeTest::linux_ = nullptr;
+double EvaluationShapeTest::sdr_ = 0.0;
+
+TEST_F(EvaluationShapeTest, SingleNodeAllSchemesReachExactDedup) {
+  for (RoutingScheme scheme :
+       {RoutingScheme::kSigma, RoutingScheme::kStateless,
+        RoutingScheme::kStateful}) {
+    Cluster cluster(sim_config(scheme, 1));
+    cluster.backup_dataset(*linux_);
+    EXPECT_NEAR(cluster.report().dedup_ratio(), sdr_, sdr_ * 0.01)
+        << to_string(scheme);
+  }
+}
+
+TEST_F(EvaluationShapeTest, SigmaTracksStatefulWithinTenPercent) {
+  const double sigma_edr = run_edr(*linux_, RoutingScheme::kSigma, 8, sdr_);
+  const double stateful_edr =
+      run_edr(*linux_, RoutingScheme::kStateful, 8, sdr_);
+  EXPECT_GT(sigma_edr, stateful_edr * 0.85);
+}
+
+TEST_F(EvaluationShapeTest, SigmaBeatsStatelessAtScale) {
+  const double sigma_edr = run_edr(*linux_, RoutingScheme::kSigma, 16, sdr_);
+  const double stateless_edr =
+      run_edr(*linux_, RoutingScheme::kStateless, 16, sdr_);
+  EXPECT_GT(sigma_edr, stateless_edr);
+}
+
+TEST_F(EvaluationShapeTest, MessageOverheadOrdering) {
+  // Fig. 7: stateful >> sigma >= stateless, and with the paper's
+  // parameters (1 MB super-chunks of 256 x 4 KB chunks, k = 8) sigma's
+  // total fingerprint-lookup messages stay within 1.25x of stateless
+  // (pre-routing <= k fingerprints to <= k candidates = 64 <= 256/4).
+  TraceBackup stream;
+  stream.session = "full-super-chunks";
+  TraceFile f;
+  for (std::uint64_t i = 0; i < 40 * 256; ++i) {
+    f.chunks.push_back(
+        {Fingerprint::from_uint64(mix64(i ^ 0xF167)), 4096});
+  }
+  stream.files.push_back(std::move(f));
+
+  std::uint64_t sigma_total = 0, stateless_total = 0, stateful_total = 0;
+  for (auto [scheme, out] :
+       {std::pair{RoutingScheme::kSigma, &sigma_total},
+        std::pair{RoutingScheme::kStateless, &stateless_total},
+        std::pair{RoutingScheme::kStateful, &stateful_total}}) {
+    ClusterConfig cfg = sim_config(scheme, 32);
+    cfg.super_chunk_bytes = 1 << 20;  // paper parameter
+    Cluster cluster(cfg);
+    cluster.backup(stream);
+    *out = cluster.report().messages.total();
+  }
+  EXPECT_GT(stateful_total, sigma_total);
+  EXPECT_GE(sigma_total, stateless_total);
+  EXPECT_LE(static_cast<double>(sigma_total),
+            1.25 * static_cast<double>(stateless_total));
+}
+
+TEST_F(EvaluationShapeTest, NormalizedEdrAtMostOne) {
+  for (RoutingScheme scheme :
+       {RoutingScheme::kSigma, RoutingScheme::kStateless,
+        RoutingScheme::kStateful}) {
+    for (std::size_t n : {2u, 8u}) {
+      const double nedr = run_edr(*linux_, scheme, n, sdr_);
+      EXPECT_LE(nedr, 1.0 + 1e-9) << to_string(scheme) << " n=" << n;
+      EXPECT_GT(nedr, 0.1) << to_string(scheme) << " n=" << n;
+    }
+  }
+}
+
+TEST(IntegrationTest, VmDatasetPunishesExtremeBinning) {
+  const Dataset vm = vm_dataset(0.04);
+  const double sdr = exact_dedup_ratio(vm);
+  Cluster eb(sim_config(RoutingScheme::kExtremeBinning, 8));
+  eb.backup_dataset(vm);
+  Cluster sg(sim_config(RoutingScheme::kSigma, 8));
+  sg.backup_dataset(vm);
+  const double eb_nedr = eb.report().effective_dedup_ratio() / sdr;
+  const double sg_nedr = sg.report().effective_dedup_ratio() / sdr;
+  // Paper Fig. 8 (VM): Sigma far ahead of Extreme Binning.
+  EXPECT_GT(sg_nedr, eb_nedr * 1.3);
+}
+
+TEST(IntegrationTest, TraceOnlyDatasetsRunOnChunkSchemes) {
+  const Dataset mail = mail_dataset(0.02);
+  for (RoutingScheme scheme :
+       {RoutingScheme::kSigma, RoutingScheme::kStateless,
+        RoutingScheme::kStateful, RoutingScheme::kChunkDht}) {
+    Cluster cluster(sim_config(scheme, 4));
+    cluster.backup_dataset(mail);
+    EXPECT_GT(cluster.report().dedup_ratio(), 2.0) << to_string(scheme);
+  }
+}
+
+TEST(IntegrationTest, ConcurrentClientsSeparateStreams) {
+  MiddlewareConfig cfg;
+  cfg.num_nodes = 4;
+  SigmaDedupe dedupe(cfg);
+
+  auto make_files = [](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<ContentFile> files;
+    for (int f = 0; f < 3; ++f) {
+      Buffer data(60000);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+      files.push_back({"f" + std::to_string(seed) + "-" + std::to_string(f),
+                       std::move(data)});
+    }
+    return files;
+  };
+
+  const auto files_a = make_files(1);
+  const auto files_b = make_files(2);
+  std::thread ta([&] { dedupe.backup("client-a", files_a, 0); });
+  std::thread tb([&] { dedupe.backup("client-b", files_b, 1); });
+  ta.join();
+  tb.join();
+
+  for (const auto& f : files_a) {
+    EXPECT_EQ(dedupe.restore("client-a", f.path), f.data);
+  }
+  for (const auto& f : files_b) {
+    EXPECT_EQ(dedupe.restore("client-b", f.path), f.data);
+  }
+}
+
+TEST(IntegrationTest, ClusterScalesWithoutLosingData) {
+  // Backing up the same dataset on growing clusters must preserve total
+  // logical accounting and keep physical <= logical.
+  const Dataset web = web_dataset(0.1);
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    Cluster cluster(sim_config(RoutingScheme::kSigma, n));
+    cluster.backup_dataset(web);
+    const auto r = cluster.report();
+    EXPECT_EQ(r.logical_bytes, web.logical_bytes());
+    EXPECT_LE(r.physical_bytes, r.logical_bytes);
+    EXPECT_GE(r.physical_bytes, exact_unique_bytes(web));
+  }
+}
+
+TEST(IntegrationTest, NodeDiskLookupsDropWithSimilarityIndex) {
+  // Locality effect: the second generation resolves nearly all duplicate
+  // tests from prefetched containers rather than the disk index.
+  const Dataset linux = linux_dataset(0.05);
+  Cluster cluster(sim_config(RoutingScheme::kSigma, 2));
+  cluster.backup_dataset(linux);
+  std::uint64_t disk_lookups = 0, duplicate_chunks = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    disk_lookups += cluster.node(i).stats().disk_index_lookups;
+    duplicate_chunks += cluster.node(i).stats().duplicate_chunks;
+  }
+  // Disk lookups should be far fewer than one per duplicate chunk.
+  EXPECT_LT(disk_lookups, duplicate_chunks);
+}
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,197 @@
+// Property-based tests: randomized inputs checked against invariants the
+// design guarantees, swept over seeds with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chunking/chunker.h"
+#include "chunking/super_chunk.h"
+#include "cluster/cluster.h"
+#include "common/hash_util.h"
+#include "common/random.h"
+#include "node/dedup_node.h"
+
+namespace sigma {
+namespace {
+
+Buffer random_data(std::size_t n, std::uint64_t seed) {
+  Buffer out;
+  out.reserve(n);
+  Rng rng(seed);
+  while (out.size() < n) {
+    const std::uint64_t v = rng.next();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Chunking is a partition: reassembling chunks yields the original bytes.
+TEST_P(SeededProperty, ChunkingPartitionsReassemble) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t size = 1 + rng.next_below(300000);
+  const Buffer data = random_data(size, seed);
+  for (ChunkingScheme scheme :
+       {ChunkingScheme::kStatic, ChunkingScheme::kCdc,
+        ChunkingScheme::kTttd}) {
+    const auto chunker = make_chunker(scheme, 4096);
+    Buffer rebuilt;
+    for (const auto& b :
+         chunker->chunk(ByteView{data.data(), data.size()})) {
+      rebuilt.insert(rebuilt.end(), data.begin() + static_cast<long>(b.offset),
+                     data.begin() + static_cast<long>(b.offset + b.size));
+    }
+    EXPECT_EQ(rebuilt, data) << to_string(scheme);
+  }
+}
+
+// Dedup identity: writing any random stream twice to a node never grows
+// physical storage on the second pass (exact mode).
+TEST_P(SeededProperty, ExactNodeIdempotentOnRewrite) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  DedupNodeConfig cfg;
+  cfg.container_capacity_bytes = 32 * 4096;
+  cfg.cache_capacity_containers = 4;
+  DedupNode node(0, cfg);
+
+  std::vector<SuperChunk> stream;
+  const std::size_t n_sc = 2 + rng.next_below(6);
+  for (std::size_t s = 0; s < n_sc; ++s) {
+    SuperChunk sc;
+    const std::size_t n = 1 + rng.next_below(100);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Draw from a small id space to create random duplicates.
+      sc.chunks.push_back({Fingerprint::from_uint64(
+                               mix64(seed ^ rng.next_below(500))),
+                           1 + static_cast<std::uint32_t>(
+                                   rng.next_below(8192))});
+    }
+    stream.push_back(std::move(sc));
+  }
+  // Sizes must be consistent per fingerprint for the invariant to hold.
+  std::unordered_map<std::uint64_t, std::uint32_t> canon;
+  for (auto& sc : stream) {
+    for (auto& c : sc.chunks) {
+      auto [it, inserted] = canon.try_emplace(c.fp.prefix64(), c.size);
+      c.size = it->second;
+    }
+  }
+
+  for (const auto& sc : stream) node.write_super_chunk(0, sc);
+  const std::uint64_t after_first = node.stored_bytes();
+  for (const auto& sc : stream) node.write_super_chunk(0, sc);
+  EXPECT_EQ(node.stored_bytes(), after_first);
+}
+
+// Physical bytes of an exact node equals the sum of distinct fingerprint
+// sizes, whatever the write order.
+TEST_P(SeededProperty, ExactNodePhysicalMatchesDistinctSet) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  DedupNodeConfig cfg;
+  DedupNode node(0, cfg);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> expected;
+  for (int s = 0; s < 5; ++s) {
+    SuperChunk sc;
+    for (int i = 0; i < 64; ++i) {
+      const std::uint64_t id = mix64(seed) ^ rng.next_below(300);
+      const std::uint32_t size = 4096;
+      sc.chunks.push_back({Fingerprint::from_uint64(mix64(id)), size});
+      expected.try_emplace(mix64(id), size);
+    }
+    node.write_super_chunk(0, sc);
+  }
+  std::uint64_t want = 0;
+  for (const auto& [fp, size] : expected) want += size;
+  EXPECT_EQ(node.stored_bytes(), want);
+}
+
+// Cluster conservation: whatever the scheme, sum of node usage equals the
+// report's physical bytes, and physical <= logical.
+TEST_P(SeededProperty, ClusterConservation) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const RoutingScheme schemes[] = {
+      RoutingScheme::kSigma, RoutingScheme::kStateless,
+      RoutingScheme::kStateful, RoutingScheme::kChunkDht};
+  ClusterConfig cfg;
+  cfg.num_nodes = 1 + rng.next_below(12);
+  cfg.scheme = schemes[rng.next_below(4)];
+  cfg.super_chunk_bytes = 32 * 4096;
+  Cluster cluster(cfg);
+
+  TraceBackup backup;
+  backup.session = "p";
+  TraceFile f;
+  for (int i = 0; i < 500; ++i) {
+    f.chunks.push_back(
+        {Fingerprint::from_uint64(mix64(seed ^ rng.next_below(200))), 4096});
+  }
+  backup.files.push_back(f);
+  cluster.backup(backup);
+
+  const auto r = cluster.report();
+  std::uint64_t usage_sum = 0;
+  for (auto u : r.node_usage) usage_sum += u;
+  EXPECT_EQ(usage_sum, r.physical_bytes);
+  EXPECT_LE(r.physical_bytes, r.logical_bytes);
+  EXPECT_EQ(r.logical_bytes, 500u * 4096);
+}
+
+// Handprint monotonicity: growing k never shrinks the overlap count
+// between two chunk lists.
+TEST_P(SeededProperty, HandprintOverlapMonotoneInK) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  std::vector<ChunkRecord> a, b;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t id = rng.next_below(400);
+    a.push_back({Fingerprint::from_uint64(mix64(seed ^ id)), 4096});
+    const std::uint64_t id2 = rng.next_below(400);
+    b.push_back({Fingerprint::from_uint64(mix64(seed ^ id2)), 4096});
+  }
+  std::size_t prev = 0;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const std::size_t overlap =
+        handprint_overlap(compute_handprint(a, k), compute_handprint(b, k));
+    EXPECT_GE(overlap, prev) << "k=" << k;
+    prev = overlap;
+  }
+}
+
+// DHT placement is a pure function of fingerprints: two clusters fed the
+// same stream always agree on node usage exactly.
+TEST_P(SeededProperty, ChunkDhtPlacementDeterministic) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  TraceBackup backup;
+  TraceFile f;
+  for (int i = 0; i < 300; ++i) {
+    f.chunks.push_back(
+        {Fingerprint::from_uint64(mix64(seed + rng.next_below(1000))),
+         4096});
+  }
+  backup.files.push_back(f);
+
+  ClusterConfig cfg;
+  cfg.num_nodes = 7;
+  cfg.scheme = RoutingScheme::kChunkDht;
+  Cluster c1(cfg), c2(cfg);
+  c1.backup(backup);
+  c2.backup(backup);
+  EXPECT_EQ(c1.report().node_usage, c2.report().node_usage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,132 @@
+// Similarity index: mapping semantics, handprint match counting, striped
+// locking under concurrency, RAM estimation.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/hash_util.h"
+#include "storage/similarity_index.h"
+
+namespace sigma {
+namespace {
+
+Fingerprint fp(std::uint64_t id) {
+  return Fingerprint::from_uint64(mix64(id));
+}
+
+TEST(SimilarityIndexTest, PutGet) {
+  SimilarityIndex idx(16);
+  idx.put(fp(1), 100);
+  const auto got = idx.get(fp(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 100u);
+  EXPECT_FALSE(idx.get(fp(2)).has_value());
+}
+
+TEST(SimilarityIndexTest, PutOverwrites) {
+  SimilarityIndex idx(16);
+  idx.put(fp(1), 100);
+  idx.put(fp(1), 200);
+  EXPECT_EQ(*idx.get(fp(1)), 200u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(SimilarityIndexTest, CountMatches) {
+  SimilarityIndex idx(16);
+  idx.put(fp(1), 1);
+  idx.put(fp(2), 2);
+  idx.put(fp(3), 3);
+  const std::vector<Fingerprint> handprint{fp(1), fp(3), fp(9), fp(10)};
+  EXPECT_EQ(idx.count_matches(handprint), 2u);
+  EXPECT_EQ(idx.count_matches({}), 0u);
+}
+
+TEST(SimilarityIndexTest, MatchContainersDeduplicated) {
+  SimilarityIndex idx(16);
+  idx.put(fp(1), 5);
+  idx.put(fp(2), 5);  // same container
+  idx.put(fp(3), 7);
+  const auto cids = idx.match_containers({fp(1), fp(2), fp(3), fp(4)});
+  EXPECT_EQ(cids, (std::vector<ContainerId>{5, 7}));
+}
+
+TEST(SimilarityIndexTest, SizeAccumulatesAcrossShards) {
+  SimilarityIndex idx(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) idx.put(fp(i), i);
+  EXPECT_EQ(idx.size(), 1000u);
+}
+
+TEST(SimilarityIndexTest, SingleLockStillWorks) {
+  SimilarityIndex idx(1);
+  for (std::uint64_t i = 0; i < 100; ++i) idx.put(fp(i), i);
+  EXPECT_EQ(idx.size(), 100u);
+  EXPECT_EQ(idx.num_locks(), 1u);
+}
+
+TEST(SimilarityIndexTest, ZeroLocksClampedToOne) {
+  SimilarityIndex idx(0);
+  EXPECT_EQ(idx.num_locks(), 1u);
+}
+
+TEST(SimilarityIndexTest, RamEstimateScalesWithEntries) {
+  SimilarityIndex idx(16);
+  EXPECT_EQ(idx.estimated_ram_bytes(), 0u);
+  for (std::uint64_t i = 0; i < 100; ++i) idx.put(fp(i), i);
+  EXPECT_EQ(idx.estimated_ram_bytes(), 100u * 32);
+}
+
+TEST(SimilarityIndexTest, ConcurrentPutsAllLand) {
+  SimilarityIndex idx(64);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&idx, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        idx.put(fp(static_cast<std::uint64_t>(t) * kPerThread + i),
+                static_cast<ContainerId>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.size(), kThreads * kPerThread);
+}
+
+TEST(SimilarityIndexTest, ConcurrentReadersSeeConsistentValues) {
+  SimilarityIndex idx(4);
+  for (std::uint64_t i = 0; i < 500; ++i) idx.put(fp(i), i % 10);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        const auto got = idx.get(fp(i));
+        if (!got || *got != i % 10) errors++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+// Lock-stripe sweep: behaviour must be identical for any stripe count.
+class SimilarityIndexLockSweep : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(SimilarityIndexLockSweep, SemanticsIndependentOfLockCount) {
+  SimilarityIndex idx(GetParam());
+  std::vector<Fingerprint> handprint;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    idx.put(fp(i), i);
+    if (i % 2 == 0) handprint.push_back(fp(i));
+  }
+  EXPECT_EQ(idx.count_matches(handprint), 32u);
+  EXPECT_EQ(idx.size(), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LockCounts, SimilarityIndexLockSweep,
+                         ::testing::Values(1, 2, 16, 256, 1024, 65536));
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,251 @@
+// Super-chunk grouping, handprints and resemblance estimation — the
+// Section 2.2 machinery, including a statistical check of the Broder-bound
+// property behind Eq. (5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chunking/super_chunk.h"
+#include "common/hash_util.h"
+#include "common/random.h"
+
+namespace sigma {
+namespace {
+
+ChunkRecord rec(std::uint64_t id, std::uint32_t size = 4096) {
+  return {Fingerprint::from_uint64(mix64(id)), size};
+}
+
+std::vector<ChunkRecord> make_chunks(std::uint64_t first, std::size_t n) {
+  std::vector<ChunkRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rec(first + i));
+  return out;
+}
+
+// --- Handprints --------------------------------------------------------------
+
+TEST(HandprintTest, SelectsKSmallestSorted) {
+  auto chunks = make_chunks(100, 50);
+  const Handprint hp = compute_handprint(chunks, 8);
+  ASSERT_EQ(hp.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(hp.begin(), hp.end()));
+
+  // Must be exactly the 8 smallest distinct fingerprints.
+  std::vector<Fingerprint> all;
+  for (const auto& c : chunks) all.push_back(c.fp);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(hp[i], all[i]);
+}
+
+TEST(HandprintTest, DeduplicatesRepeatedFingerprints) {
+  std::vector<ChunkRecord> chunks;
+  for (int i = 0; i < 20; ++i) chunks.push_back(rec(7));  // all identical
+  const Handprint hp = compute_handprint(chunks, 8);
+  EXPECT_EQ(hp.size(), 1u);
+}
+
+TEST(HandprintTest, ShorterThanKWhenFewDistinct) {
+  auto chunks = make_chunks(0, 3);
+  EXPECT_EQ(compute_handprint(chunks, 8).size(), 3u);
+}
+
+TEST(HandprintTest, OrderInvariant) {
+  auto chunks = make_chunks(500, 64);
+  auto shuffled = chunks;
+  Rng rng(1);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.next_below(i)]);
+  }
+  EXPECT_EQ(compute_handprint(chunks, 8), compute_handprint(shuffled, 8));
+}
+
+TEST(HandprintTest, RejectsZeroK) {
+  auto chunks = make_chunks(0, 4);
+  EXPECT_THROW(compute_handprint(chunks, 0), std::invalid_argument);
+}
+
+TEST(HandprintTest, EmptyChunksYieldEmptyHandprint) {
+  EXPECT_TRUE(compute_handprint({}, 8).empty());
+}
+
+// --- Resemblance -------------------------------------------------------------
+
+TEST(ResemblanceTest, IdenticalSetsResembleFully) {
+  auto a = make_chunks(0, 32);
+  EXPECT_DOUBLE_EQ(jaccard_resemblance(a, a), 1.0);
+}
+
+TEST(ResemblanceTest, DisjointSetsResembleZero) {
+  auto a = make_chunks(0, 32);
+  auto b = make_chunks(1000, 32);
+  EXPECT_DOUBLE_EQ(jaccard_resemblance(a, b), 0.0);
+}
+
+TEST(ResemblanceTest, HalfOverlap) {
+  auto a = make_chunks(0, 32);
+  auto b = make_chunks(16, 32);  // shares ids 16..31
+  // |A∩B| = 16, |A∪B| = 48.
+  EXPECT_NEAR(jaccard_resemblance(a, b), 16.0 / 48.0, 1e-12);
+}
+
+TEST(ResemblanceTest, EmptyVsEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(jaccard_resemblance({}, {}), 1.0);
+}
+
+TEST(ResemblanceTest, HandprintOverlapMergeCount) {
+  auto a = compute_handprint(make_chunks(0, 64), 16);
+  auto b = compute_handprint(make_chunks(0, 64), 16);
+  EXPECT_EQ(handprint_overlap(a, b), 16u);
+  auto c = compute_handprint(make_chunks(5000, 64), 16);
+  EXPECT_EQ(handprint_overlap(a, c), 0u);
+}
+
+TEST(ResemblanceTest, HandprintEstimateWithinUnit) {
+  auto a = make_chunks(0, 128);
+  auto b = make_chunks(64, 128);
+  const auto ha = compute_handprint(a, 8);
+  const auto hb = compute_handprint(b, 8);
+  const double est = handprint_resemblance(ha, hb, 8);
+  EXPECT_GE(est, 0.0);
+  EXPECT_LE(est, 1.0);
+}
+
+// Statistical check of the Eq. (5) property: the probability that two
+// super-chunks with resemblance r share at least one of their k smallest
+// fingerprints is >= 1 - (1-r)^k. With r = 0.5 and k = 8 that bound is
+// ~0.996, so over 200 random trials virtually all pairs must be detected.
+TEST(ResemblanceTest, HandprintDetectionBeatsBroderBound) {
+  Rng rng(42);
+  constexpr int kTrials = 200;
+  constexpr std::size_t kChunks = 256;
+  constexpr std::size_t kK = 8;
+  int detected = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t base = rng.next();
+    std::vector<ChunkRecord> a, b;
+    for (std::size_t i = 0; i < kChunks; ++i) {
+      a.push_back(rec(base + i));
+      // ~50% shared chunks.
+      b.push_back(rng.chance(0.5) ? rec(base + i)
+                                  : rec(base + 100000 + i));
+    }
+    const auto ha = compute_handprint(a, kK);
+    const auto hb = compute_handprint(b, kK);
+    if (handprint_overlap(ha, hb) > 0) ++detected;
+  }
+  EXPECT_GE(detected, kTrials * 95 / 100);
+}
+
+// Detection improves monotonically (statistically) with handprint size —
+// the shape of the paper's Fig. 1.
+TEST(ResemblanceTest, LargerHandprintsDetectMore) {
+  Rng rng(7);
+  constexpr int kTrials = 300;
+  constexpr std::size_t kChunks = 256;
+  int detected_k1 = 0, detected_k16 = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t base = rng.next();
+    std::vector<ChunkRecord> a, b;
+    for (std::size_t i = 0; i < kChunks; ++i) {
+      a.push_back(rec(base + i));
+      b.push_back(rng.chance(0.15) ? rec(base + i) : rec(base + 999999 + i));
+    }
+    if (handprint_overlap(compute_handprint(a, 1), compute_handprint(b, 1)) >
+        0) {
+      ++detected_k1;
+    }
+    if (handprint_overlap(compute_handprint(a, 16),
+                          compute_handprint(b, 16)) > 0) {
+      ++detected_k16;
+    }
+  }
+  EXPECT_GT(detected_k16, detected_k1);
+}
+
+// --- SuperChunkBuilder --------------------------------------------------------
+
+TEST(SuperChunkBuilderTest, GroupsToTargetSize) {
+  SuperChunkBuilder b(16 * 4096);
+  int completed = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (b.add(rec(i))) {
+      const SuperChunk sc = b.take();
+      EXPECT_EQ(sc.chunks.size(), 16u);
+      EXPECT_EQ(sc.logical_size(), 16u * 4096u);
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, 4);
+  EXPECT_TRUE(b.flush().chunks.empty());
+}
+
+TEST(SuperChunkBuilderTest, FlushReturnsPartial) {
+  SuperChunkBuilder b(1 << 20);
+  ASSERT_FALSE(b.add(rec(1)));
+  ASSERT_FALSE(b.add(rec(2)));
+  const SuperChunk sc = b.flush();
+  EXPECT_EQ(sc.chunks.size(), 2u);
+}
+
+TEST(SuperChunkBuilderTest, OversizedChunkCompletesImmediately) {
+  SuperChunkBuilder b(4096);
+  EXPECT_TRUE(b.add(rec(1, 10000)));
+  EXPECT_EQ(b.take().chunks.size(), 1u);
+}
+
+TEST(SuperChunkBuilderTest, AddAfterReadyThrows) {
+  SuperChunkBuilder b(4096);
+  ASSERT_TRUE(b.add(rec(1)));
+  EXPECT_THROW((void)b.add(rec(2)), std::logic_error);
+}
+
+TEST(SuperChunkBuilderTest, TakeWithoutReadyThrows) {
+  SuperChunkBuilder b(1 << 20);
+  EXPECT_THROW(b.take(), std::logic_error);
+}
+
+TEST(SuperChunkBuilderTest, RejectsZeroTarget) {
+  EXPECT_THROW(SuperChunkBuilder(0), std::invalid_argument);
+}
+
+TEST(BuildSuperChunksTest, PartitionsWholeStream) {
+  auto chunks = make_chunks(0, 100);
+  const auto scs = build_super_chunks(chunks, 10 * 4096);
+  ASSERT_EQ(scs.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& sc : scs) total += sc.chunks.size();
+  EXPECT_EQ(total, 100u);
+  // Stream order preserved.
+  EXPECT_EQ(scs[0].chunks[0], chunks[0]);
+  EXPECT_EQ(scs[9].chunks.back(), chunks.back());
+}
+
+TEST(BuildSuperChunksTest, EmptyStream) {
+  EXPECT_TRUE(build_super_chunks({}, 1 << 20).empty());
+}
+
+// --- Parameterized: super-chunk/k sweeps keep handprint invariants ----------
+
+class HandprintSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(HandprintSweepTest, HandprintIsSubsetOfChunkSetAndSorted) {
+  const auto [n_chunks, k] = GetParam();
+  auto chunks = make_chunks(77, n_chunks);
+  const Handprint hp = compute_handprint(chunks, k);
+  EXPECT_LE(hp.size(), std::min(k, n_chunks));
+  EXPECT_TRUE(std::is_sorted(hp.begin(), hp.end()));
+  for (const auto& rfp : hp) {
+    EXPECT_TRUE(std::any_of(chunks.begin(), chunks.end(),
+                            [&](const ChunkRecord& c) { return c.fp == rfp; }));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HandprintSweepTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 8, 64, 256, 1000),
+                       ::testing::Values<std::size_t>(1, 2, 8, 64)));
+
+}  // namespace
+}  // namespace sigma

@@ -1,0 +1,112 @@
+// Trace serialization: round trips, file I/O, malformed input rejection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/hash_util.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace sigma {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.has_file_metadata = true;
+  TraceBackup b;
+  b.session = "gen-1";
+  TraceFile f;
+  f.path = "a/b.txt";
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    f.chunks.push_back({Fingerprint::from_uint64(mix64(i)),
+                        static_cast<std::uint32_t>(1000 + i)});
+  }
+  b.files.push_back(f);
+  d.backups.push_back(b);
+  return d;
+}
+
+bool datasets_equal(const Dataset& a, const Dataset& b) {
+  if (a.name != b.name || a.has_file_metadata != b.has_file_metadata ||
+      a.backups.size() != b.backups.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.backups.size(); ++i) {
+    if (a.backups[i].session != b.backups[i].session) return false;
+    if (a.backups[i].files.size() != b.backups[i].files.size()) return false;
+    for (std::size_t j = 0; j < a.backups[i].files.size(); ++j) {
+      if (a.backups[i].files[j].path != b.backups[i].files[j].path ||
+          a.backups[i].files[j].chunks != b.backups[i].files[j].chunks) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(TraceTest, InMemoryRoundTrip) {
+  const Dataset d = tiny_dataset();
+  const Buffer blob = serialize_trace(d);
+  const Dataset back = deserialize_trace(ByteView{blob.data(), blob.size()});
+  EXPECT_TRUE(datasets_equal(d, back));
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const Dataset d = tiny_dataset();
+  const auto path =
+      std::filesystem::temp_directory_path() / "sigma-trace-test.bin";
+  write_trace(d, path);
+  const Dataset back = read_trace(path);
+  EXPECT_TRUE(datasets_equal(d, back));
+  std::filesystem::remove(path);
+}
+
+TEST(TraceTest, PreservesNoFileMetadataFlag) {
+  Dataset d = tiny_dataset();
+  d.has_file_metadata = false;
+  const Buffer blob = serialize_trace(d);
+  EXPECT_FALSE(deserialize_trace(ByteView{blob.data(), blob.size()})
+                   .has_file_metadata);
+}
+
+TEST(TraceTest, EmptyDatasetRoundTrip) {
+  Dataset d;
+  d.name = "empty";
+  const Buffer blob = serialize_trace(d);
+  const Dataset back = deserialize_trace(ByteView{blob.data(), blob.size()});
+  EXPECT_EQ(back.name, "empty");
+  EXPECT_TRUE(back.backups.empty());
+}
+
+TEST(TraceTest, RejectsBadMagic) {
+  Buffer junk(100, 0xEE);
+  EXPECT_THROW(deserialize_trace(ByteView{junk.data(), junk.size()}),
+               std::runtime_error);
+}
+
+TEST(TraceTest, RejectsTruncated) {
+  const Buffer blob = serialize_trace(tiny_dataset());
+  for (std::size_t cut : {blob.size() / 4, blob.size() / 2,
+                          blob.size() - 3}) {
+    EXPECT_THROW(deserialize_trace(ByteView{blob.data(), cut}),
+                 std::runtime_error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(TraceTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_trace("/nonexistent/path/trace.bin"),
+               std::runtime_error);
+}
+
+TEST(TraceTest, GeneratedDatasetSurvivesRoundTrip) {
+  const Dataset d = web_dataset(0.05);
+  const Buffer blob = serialize_trace(d);
+  const Dataset back = deserialize_trace(ByteView{blob.data(), blob.size()});
+  EXPECT_TRUE(datasets_equal(d, back));
+  EXPECT_EQ(back.logical_bytes(), d.logical_bytes());
+}
+
+}  // namespace
+}  // namespace sigma

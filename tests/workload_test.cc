@@ -1,0 +1,273 @@
+// Workload generators: determinism, redundancy structure (dedup ratios in
+// the paper's neighborhoods), file-size skew, trace properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/dataset.h"
+#include "workload/file_pairs.h"
+#include "workload/generators.h"
+
+namespace sigma {
+namespace {
+
+TEST(DatasetTest, LogicalBytesSumsFiles) {
+  TraceBackup b;
+  b.session = "s";
+  TraceFile f;
+  f.path = "f";
+  f.chunks = {{Fingerprint::from_uint64(1), 100},
+              {Fingerprint::from_uint64(2), 200}};
+  b.files.push_back(f);
+  EXPECT_EQ(b.logical_bytes(), 300u);
+  EXPECT_EQ(b.chunk_count(), 2u);
+
+  Dataset d;
+  d.backups = {b, b};
+  EXPECT_EQ(d.logical_bytes(), 600u);
+  EXPECT_EQ(d.chunk_count(), 4u);
+}
+
+TEST(DatasetTest, ExactDedupRatioCountsDistinctFingerprints) {
+  Dataset d;
+  TraceBackup b;
+  TraceFile f;
+  f.chunks = {{Fingerprint::from_uint64(1), 100},
+              {Fingerprint::from_uint64(1), 100},
+              {Fingerprint::from_uint64(2), 100}};
+  b.files.push_back(f);
+  d.backups.push_back(b);
+  EXPECT_EQ(exact_unique_bytes(d), 200u);
+  EXPECT_NEAR(exact_dedup_ratio(d), 1.5, 1e-12);
+}
+
+TEST(MaterializeTest, ChunksCoverFileAndFingerprintsMatchContent) {
+  ContentBackup cb;
+  cb.session = "s";
+  Buffer data(30000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  cb.files.push_back({"f", data});
+  const FixedChunker chunker(4096);
+  const TraceBackup tb = materialize(cb, chunker);
+  ASSERT_EQ(tb.files.size(), 1u);
+  EXPECT_EQ(tb.files[0].logical_bytes(), data.size());
+  // First chunk fingerprint must equal direct hash of the first 4 KB.
+  EXPECT_EQ(tb.files[0].chunks[0].fp,
+            Fingerprint::of(ByteView{data.data(), 4096}));
+}
+
+TEST(MaterializeTest, IdenticalContentIdenticalTrace) {
+  ContentBackup cb;
+  cb.session = "s";
+  cb.files.push_back({"f", Buffer(10000, 0x5A)});
+  const FixedChunker chunker(4096);
+  const TraceBackup a = materialize(cb, chunker);
+  const TraceBackup b = materialize(cb, chunker);
+  EXPECT_EQ(a.files[0].chunks, b.files[0].chunks);
+}
+
+// --- Linux generator ---------------------------------------------------------
+
+TEST(LinuxGeneratorTest, DeterministicForSeed) {
+  LinuxWorkloadConfig cfg = LinuxWorkloadConfig::scaled(0.05);
+  cfg.versions = 3;
+  const auto a = LinuxGenerator(cfg).content();
+  const auto b = LinuxGenerator(cfg).content();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a[2].files.size(), b[2].files.size());
+  EXPECT_EQ(a[2].files[0].data, b[2].files[0].data);
+}
+
+TEST(LinuxGeneratorTest, VersionsEvolveGradually) {
+  LinuxWorkloadConfig cfg = LinuxWorkloadConfig::scaled(0.05);
+  cfg.versions = 2;
+  const auto backups = LinuxGenerator(cfg).content();
+  ASSERT_EQ(backups.size(), 2u);
+  // Most files should be byte-identical between consecutive versions.
+  int identical = 0, total = 0;
+  for (const auto& f1 : backups[0].files) {
+    for (const auto& f2 : backups[1].files) {
+      if (f1.path == f2.path) {
+        ++total;
+        if (f1.data == f2.data) ++identical;
+      }
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GT(identical, total / 2);
+}
+
+TEST(LinuxGeneratorTest, DedupRatioNearPaperValue) {
+  // Small scale keeps the test fast; ratio depends on version structure,
+  // not volume. Paper: 7.96 (SC-4KB) over 12 retained versions.
+  const Dataset d = linux_dataset(0.12);
+  const double dr = exact_dedup_ratio(d);
+  EXPECT_GT(dr, 5.0);
+  EXPECT_LT(dr, 11.0);
+}
+
+TEST(LinuxGeneratorTest, RejectsBadConfig) {
+  LinuxWorkloadConfig cfg;
+  cfg.versions = 0;
+  EXPECT_THROW(LinuxGenerator{cfg}, std::invalid_argument);
+  EXPECT_THROW(LinuxWorkloadConfig::scaled(0.0), std::invalid_argument);
+}
+
+// --- VM generator ------------------------------------------------------------
+
+TEST(VmGeneratorTest, GeneratesTwoGenerationsOfImages) {
+  VmWorkloadConfig cfg = VmWorkloadConfig::scaled(0.05);
+  const auto backups = VmGenerator(cfg).content();
+  ASSERT_EQ(backups.size(), 2u);
+  // 8 images + small files per generation.
+  int images = 0;
+  for (const auto& f : backups[0].files) {
+    if (f.path.find("disk.img") != std::string::npos) ++images;
+  }
+  EXPECT_EQ(images, 8);
+}
+
+TEST(VmGeneratorTest, FileSizesAreSkewed) {
+  VmWorkloadConfig cfg = VmWorkloadConfig::scaled(0.05);
+  const auto backups = VmGenerator(cfg).content();
+  std::uint64_t max_size = 0, min_size = ~0ull;
+  for (const auto& f : backups[0].files) {
+    max_size = std::max<std::uint64_t>(max_size, f.data.size());
+    min_size = std::min<std::uint64_t>(min_size, f.data.size());
+  }
+  EXPECT_GT(max_size, 100u * min_size);  // images dwarf config files
+}
+
+TEST(VmGeneratorTest, DedupRatioNearPaperValue) {
+  const Dataset d = vm_dataset(0.06);
+  const double dr = exact_dedup_ratio(d);
+  // Paper: 4.11 (SC). Accept a generous band around it.
+  EXPECT_GT(dr, 2.8);
+  EXPECT_LT(dr, 6.5);
+}
+
+TEST(VmGeneratorTest, CrossGenerationRedundancyHigh) {
+  VmWorkloadConfig cfg = VmWorkloadConfig::scaled(0.05);
+  const auto backups = VmGenerator(cfg).content();
+  // The two generations of the same image share most blocks.
+  const auto& img1 = backups[0].files[0].data;
+  const auto& img2 = backups[1].files[0].data;
+  ASSERT_EQ(img1.size(), img2.size());
+  std::size_t same_blocks = 0, blocks = img1.size() / 4096;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (std::equal(img1.begin() + static_cast<std::ptrdiff_t>(b * 4096),
+                   img1.begin() + static_cast<std::ptrdiff_t>((b + 1) * 4096),
+                   img2.begin() + static_cast<std::ptrdiff_t>(b * 4096))) {
+      ++same_blocks;
+    }
+  }
+  EXPECT_GT(same_blocks, blocks * 8 / 10);
+}
+
+TEST(VmGeneratorTest, RejectsBadConfig) {
+  VmWorkloadConfig cfg;
+  cfg.windows_vms = 100;
+  EXPECT_THROW(VmGenerator{cfg}, std::invalid_argument);
+}
+
+// --- Stream traces -----------------------------------------------------------
+
+TEST(StreamTraceTest, HitsTargetSize) {
+  StreamTraceConfig cfg;
+  cfg.logical_bytes = 4 << 20;
+  cfg.sessions = 4;
+  const Dataset d = StreamTraceGenerator("T", cfg).trace();
+  EXPECT_EQ(d.backups.size(), 4u);
+  EXPECT_FALSE(d.has_file_metadata);
+  EXPECT_GE(d.logical_bytes(), cfg.logical_bytes);
+  EXPECT_LT(d.logical_bytes(), cfg.logical_bytes * 12 / 10);
+}
+
+TEST(StreamTraceTest, Deterministic) {
+  StreamTraceConfig cfg;
+  cfg.logical_bytes = 1 << 20;
+  const Dataset a = StreamTraceGenerator("T", cfg).trace();
+  const Dataset b = StreamTraceGenerator("T", cfg).trace();
+  EXPECT_EQ(a.backups[0].files[0].chunks, b.backups[0].files[0].chunks);
+}
+
+TEST(StreamTraceTest, FreshFractionControlsDedupRatio) {
+  StreamTraceConfig low;
+  low.logical_bytes = 8 << 20;
+  low.fresh_fraction = 0.5;
+  StreamTraceConfig high = low;
+  high.fresh_fraction = 0.08;
+  const double dr_low =
+      exact_dedup_ratio(StreamTraceGenerator("L", low).trace());
+  const double dr_high =
+      exact_dedup_ratio(StreamTraceGenerator("H", high).trace());
+  EXPECT_GT(dr_high, dr_low);
+  EXPECT_GT(dr_low, 1.2);
+}
+
+TEST(StreamTraceTest, MailAndWebMatchPaperBands) {
+  const double mail = exact_dedup_ratio(mail_dataset(0.05));
+  const double web = exact_dedup_ratio(web_dataset(0.3));
+  EXPECT_GT(mail, 7.0);   // paper: 10.52
+  EXPECT_LT(mail, 15.0);
+  EXPECT_GT(web, 1.4);    // paper: 1.9
+  EXPECT_LT(web, 2.6);
+}
+
+TEST(StreamTraceTest, RejectsBadConfig) {
+  StreamTraceConfig cfg;  // logical_bytes = 0
+  EXPECT_THROW(StreamTraceGenerator("X", cfg), std::invalid_argument);
+}
+
+// --- File pairs (Fig. 1 substrate) --------------------------------------------
+
+TEST(FilePairTest, ZeroEditFractionIdentical) {
+  FilePairConfig cfg;
+  cfg.bytes = 1 << 20;
+  const FilePair p = make_file_pair("same", 0.0, cfg);
+  EXPECT_EQ(p.first, p.second);
+}
+
+TEST(FilePairTest, EditFractionOrdersSimilarity) {
+  FilePairConfig cfg;
+  cfg.bytes = 1 << 20;
+  const FilePair small_edit = make_file_pair("a", 0.05, cfg);
+  const FilePair big_edit = make_file_pair("a", 0.5, cfg);
+  // Compare shared prefix length as a cheap similarity proxy.
+  auto shared_bytes = [](const FilePair& p) {
+    const std::size_t n = std::min(p.first.size(), p.second.size());
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p.first[i] == p.second[i]) ++same;
+    }
+    return same;
+  };
+  EXPECT_GT(shared_bytes(small_edit), shared_bytes(big_edit));
+}
+
+TEST(FilePairTest, Fig1PairsOrderedBySimilarity) {
+  FilePairConfig cfg;
+  cfg.bytes = 1 << 20;  // smaller for test speed
+  const auto pairs = fig1_file_pairs(cfg);
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0].label, "Linux-2.6.7/8");
+  EXPECT_EQ(pairs[3].label, "HTML");
+  for (const auto& p : pairs) {
+    EXPECT_GT(p.first.size(), cfg.bytes * 9 / 10);
+    EXPECT_GT(p.second.size(), cfg.bytes / 2);
+  }
+}
+
+TEST(FilePairTest, Deterministic) {
+  FilePairConfig cfg;
+  cfg.bytes = 256 * 1024;
+  const FilePair a = make_file_pair("DOC", 0.2, cfg);
+  const FilePair b = make_file_pair("DOC", 0.2, cfg);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace sigma
