@@ -1,0 +1,72 @@
+// Message-passing deployment: the same middleware as quickstart, but every
+// probe, duplicate test, super-chunk write and chunk read travels as a
+// request/response message through the node-service stack —
+//
+//   BackupClient -> Cluster -> RpcEndpoint -> Transport -> NodeService
+//   (event loop on the thread pool) -> DedupNode -> container storage
+//
+// — with a 4-deep super-chunk write pipeline. The LoopbackTransport keeps
+// delivery in-process; a socket transport would slot in behind the same
+// Transport interface.
+//
+//   $ ./transport_cluster
+#include <iostream>
+#include <string>
+
+#include "common/stats.h"
+#include "core/sigma_dedupe.h"
+
+int main() {
+  using namespace sigma;
+
+  MiddlewareConfig config;
+  config.num_nodes = 4;
+  config.routing = RoutingScheme::kSigma;
+  config.client.super_chunk_bytes = 64 * 1024;
+  config.transport.mode = TransportMode::kLoopback;  // message passing on
+  config.transport.pipeline_depth = 4;               // writes in flight
+  SigmaDedupe dedupe(config);
+
+  // Two backup sessions: the second repeats most of the first, so its
+  // duplicate super-chunks never ship payload bytes (source dedup).
+  auto make_file = [](const std::string& path, std::size_t size, char fill) {
+    ContentFile f;
+    f.path = path;
+    f.data.assign(size, static_cast<std::uint8_t>(fill));
+    for (std::size_t i = 0; i < f.data.size(); i += 4096) {
+      f.data[i] = static_cast<std::uint8_t>(i / 4096);  // block markers
+    }
+    return f;
+  };
+  std::vector<ContentFile> monday{make_file("db.dump", 500000, 'a'),
+                                  make_file("logs.tar", 250000, 'b')};
+  std::vector<ContentFile> tuesday = monday;
+  tuesday[1] = make_file("logs.tar", 300000, 'c');  // one file changed
+
+  const auto s1 = dedupe.backup("monday", monday);
+  const auto s2 = dedupe.backup("tuesday", tuesday);
+  dedupe.flush();
+
+  std::cout << "monday:  " << format_bytes(s1.logical_bytes) << " logical, "
+            << format_bytes(s1.transferred_bytes) << " over the wire\n";
+  std::cout << "tuesday: " << format_bytes(s2.logical_bytes) << " logical, "
+            << format_bytes(s2.transferred_bytes) << " over the wire\n";
+
+  // Restore travels over the transport too (container/recipe reads).
+  const Buffer restored = dedupe.restore("tuesday", "db.dump");
+  std::cout << "restored db.dump: " << format_bytes(restored.size())
+            << (restored == monday[0].data ? " (verified)\n" : " (CORRUPT)\n");
+
+  const auto report = dedupe.report();
+  const auto net = dedupe.cluster().net_stats();
+  std::cout << "\ncluster dedup ratio: " << TablePrinter::fmt(report.dedup_ratio())
+            << "\nfingerprint-lookup messages (Fig. 7 metric): "
+            << report.messages.total() << " (" << report.messages.pre_routing
+            << " pre-routing + " << report.messages.after_routing
+            << " after-routing)"
+            << "\nwire traffic: " << net.messages_sent << " messages, "
+            << format_bytes(net.bytes_sent) << " ("
+            << net.requests << " requests, " << net.responses
+            << " responses)\n";
+  return 0;
+}

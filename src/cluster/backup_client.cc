@@ -100,7 +100,7 @@ Buffer BackupClient::restore(const std::string& session,
   Buffer out;
   out.reserve(recipe->logical_bytes());
   for (const auto& entry : recipe->chunks) {
-    auto chunk = cluster_.node(entry.node).read_chunk(entry.fp);
+    auto chunk = cluster_.read_chunk(entry.node, entry.fp);
     if (!chunk) {
       throw std::runtime_error("restore: missing chunk " + entry.fp.hex() +
                                " on node " + std::to_string(entry.node));

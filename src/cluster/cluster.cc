@@ -1,11 +1,117 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
 #include <stdexcept>
+#include <thread>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
+#include "net/rpc.h"
+#include "service/node_client.h"
+#include "service/node_service.h"
 
 namespace sigma {
+
+/// Everything the message-passing deployment adds on top of the nodes:
+/// the transport, the per-node service event loops, the shared client
+/// endpoint with its node stubs, and the super-chunk write pipeline.
+/// Declaration order is teardown order in reverse: the pool joins before
+/// the transport dies, services unbind before the pool joins.
+struct Cluster::TransportRuntime {
+  net::LoopbackTransport transport;
+  ThreadPool pool;
+  std::vector<std::unique_ptr<service::NodeService>> services;
+  std::unique_ptr<net::RpcEndpoint> rpc;
+  std::vector<std::unique_ptr<service::NodeClient>> clients;
+  std::chrono::milliseconds timeout;
+  std::size_t pipeline_depth;
+  std::deque<net::PendingCall> in_flight;
+
+  TransportRuntime(std::vector<std::unique_ptr<DedupNode>>& nodes,
+                   const TransportConfig& config)
+      : pool(config.service_threads > 0
+                 ? config.service_threads
+                 : std::min<std::size_t>(
+                       nodes.size(),
+                       std::max(2u, std::thread::hardware_concurrency()))),
+        timeout(config.rpc_timeout_ms),
+        pipeline_depth(std::max<std::size_t>(1, config.pipeline_depth)) {
+    services.reserve(nodes.size());
+    for (auto& n : nodes) {
+      services.push_back(
+          std::make_unique<service::NodeService>(*n, transport, pool));
+    }
+    rpc = std::make_unique<net::RpcEndpoint>(transport);
+    clients.reserve(nodes.size());
+    for (auto& s : services) {
+      clients.push_back(std::make_unique<service::NodeClient>(
+          *rpc, s->endpoint(), timeout));
+    }
+  }
+
+  ~TransportRuntime() {
+    // Client stubs and the endpoint go first (no new requests), then the
+    // services run their inboxes dry, then the pool joins.
+    drain_quietly();
+    clients.clear();
+    rpc.reset();
+    services.clear();
+  }
+
+  /// Block until fewer than `limit` writes are outstanding. Entries are
+  /// removed from the pipeline before their results are inspected, so a
+  /// failed write surfaces once and never wedges subsequent calls.
+  void wait_capacity(std::size_t limit) {
+    // Reap writes already complete, in any order.
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (it->done()) {
+        net::PendingCall call = std::move(*it);
+        it = in_flight.erase(it);
+        call.get(timeout);
+      } else {
+        ++it;
+      }
+    }
+    if (in_flight.size() < limit) return;
+    // At capacity: a completion on *any* node frees the slot, so poll the
+    // set rather than blocking on the oldest entry (one slow node must
+    // not stall routing while other writes finish). Past the deadline,
+    // fall through to the oldest entry's get() to surface its timeout.
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (in_flight.size() >= limit &&
+           std::chrono::steady_clock::now() < deadline) {
+      bool reaped = false;
+      for (auto it = in_flight.begin(); it != in_flight.end(); ++it) {
+        if (it->done()) {
+          net::PendingCall call = std::move(*it);
+          in_flight.erase(it);
+          call.get(timeout);
+          reaped = true;
+          break;
+        }
+      }
+      if (!reaped) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    while (in_flight.size() >= limit) {
+      net::PendingCall call = std::move(in_flight.front());
+      in_flight.pop_front();
+      call.get(std::chrono::milliseconds(0));
+    }
+  }
+
+  /// Block until every outstanding write has completed.
+  void drain() { wait_capacity(1); }
+
+  void drain_quietly() noexcept {
+    try {
+      drain();
+    } catch (...) {
+      // Teardown path: a failed in-flight write has nowhere to report.
+    }
+  }
+};
 
 double ClusterReport::usage_mean() const {
   if (node_usage.empty()) return 0.0;
@@ -42,13 +148,38 @@ Cluster::Cluster(const ClusterConfig& config)
       config_.eb_bin_dedup) {
     eb_state_.resize(config_.num_nodes);
   }
+  if (config_.transport.mode == TransportMode::kLoopback) {
+    runtime_ = std::make_unique<TransportRuntime>(nodes_, config_.transport);
+  }
+  views_.reserve(nodes_.size());
+  if (runtime_) {
+    for (const auto& c : runtime_->clients) views_.push_back(c.get());
+  } else {
+    for (const auto& n : nodes_) views_.push_back(n.get());
+  }
 }
 
-std::vector<const DedupNode*> Cluster::node_views() const {
-  std::vector<const DedupNode*> views;
-  views.reserve(nodes_.size());
-  for (const auto& n : nodes_) views.push_back(n.get());
-  return views;
+Cluster::~Cluster() = default;
+
+NodeId Cluster::route_unit(const std::vector<ChunkRecord>& unit,
+                           RouteContext& ctx) {
+  if (runtime_) runtime_->wait_capacity(runtime_->pipeline_depth);
+  return router_->route(unit, views_, ctx);
+}
+
+void Cluster::submit_write(NodeId target, StreamId stream,
+                           const SuperChunk& sc,
+                           const DedupNode::PayloadProvider& payloads) {
+  if (runtime_) {
+    // The stub serializes the request (running the wire duplicate test in
+    // payload mode) synchronously, then the store travels asynchronously:
+    // the pipeline slot frees when the node's response arrives.
+    runtime_->in_flight.push_back(
+        runtime_->clients[target]->write_super_chunk_async(stream, sc,
+                                                           payloads));
+  } else {
+    nodes_[target]->write_super_chunk(stream, sc, payloads);
+  }
 }
 
 void Cluster::backup(const TraceBackup& backup, StreamId stream) {
@@ -80,17 +211,16 @@ void Cluster::backup_super_chunk_stream(const TraceBackup& backup,
   // The backup session is one data stream: files are concatenated in
   // stream order and cut into super-chunks irrespective of file
   // boundaries, preserving stream locality (Section 3.2).
-  const auto views = node_views();
   SuperChunkBuilder builder(config_.super_chunk_bytes);
 
   auto dispatch = [&](SuperChunk&& sc) {
     if (sc.chunks.empty()) return;
     RouteContext ctx;
-    const NodeId target = router_->route(sc.chunks, views, ctx);
+    const NodeId target = route_unit(sc.chunks, ctx);
     messages_.pre_routing += ctx.pre_routing_messages;
     messages_.after_routing += sc.chunks.size();
     logical_bytes_ += sc.logical_size();
-    nodes_[target]->write_super_chunk(stream, sc);
+    submit_write(target, stream, sc);
   };
 
   for (const auto& file : backup.files) {
@@ -103,11 +233,10 @@ void Cluster::backup_super_chunk_stream(const TraceBackup& backup,
 
 void Cluster::backup_files_extreme_binning(const TraceBackup& backup,
                                            StreamId stream) {
-  const auto views = node_views();
   for (const auto& file : backup.files) {
     if (file.chunks.empty()) continue;
     RouteContext ctx;
-    const NodeId target = router_->route(file.chunks, views, ctx);
+    const NodeId target = route_unit(file.chunks, ctx);
     messages_.pre_routing += ctx.pre_routing_messages;
     messages_.after_routing += file.chunks.size();
     logical_bytes_ += file.logical_bytes();
@@ -126,7 +255,7 @@ void Cluster::backup_files_extreme_binning(const TraceBackup& backup,
     } else {
       SuperChunk sc;
       sc.chunks = file.chunks;
-      nodes_[target]->write_super_chunk(stream, sc);
+      submit_write(target, stream, sc);
     }
   }
 }
@@ -139,16 +268,15 @@ void Cluster::backup_chunk_dht(const TraceBackup& backup, StreamId stream) {
 
   auto flush_node = [&](std::size_t i) {
     if (pending[i].chunks.empty()) return;
-    nodes_[i]->write_super_chunk(stream, pending[i]);
+    submit_write(static_cast<NodeId>(i), stream, pending[i]);
     pending[i] = SuperChunk{};
     pending_bytes[i] = 0;
   };
 
-  const auto views = node_views();
   for (const auto& file : backup.files) {
     for (const auto& chunk : file.chunks) {
       RouteContext ctx;
-      const NodeId target = router_->route({chunk}, views, ctx);
+      const NodeId target = route_unit({chunk}, ctx);
       messages_.pre_routing += ctx.pre_routing_messages;
       messages_.after_routing += 1;
       logical_bytes_ += chunk.size;
@@ -168,21 +296,49 @@ NodeId Cluster::place_super_chunk(const SuperChunk& super_chunk,
   if (super_chunk.chunks.empty()) {
     throw std::invalid_argument("Cluster: empty super-chunk");
   }
-  const auto views = node_views();
   RouteContext ctx;
-  const NodeId target = router_->route(super_chunk.chunks, views, ctx);
+  const NodeId target = route_unit(super_chunk.chunks, ctx);
   messages_.pre_routing += ctx.pre_routing_messages;
   messages_.after_routing += super_chunk.chunks.size();
   logical_bytes_ += super_chunk.logical_size();
-  nodes_[target]->write_super_chunk(stream, super_chunk, payloads);
+  submit_write(target, stream, super_chunk, payloads);
   return target;
 }
 
+std::optional<Buffer> Cluster::read_chunk(NodeId node,
+                                          const Fingerprint& fp) const {
+  if (node >= nodes_.size()) {
+    throw std::invalid_argument("Cluster: bad node id");
+  }
+  if (runtime_) {
+    runtime_->drain();  // reads must observe every in-flight write
+    return runtime_->clients[node]->read_chunk(fp);
+  }
+  return nodes_[node]->read_chunk(fp);
+}
+
 void Cluster::flush() {
+  if (runtime_) {
+    runtime_->drain();
+    // Batched async flush: seal every node's containers concurrently.
+    std::vector<net::PendingCall> calls;
+    calls.reserve(runtime_->clients.size());
+    for (auto& c : runtime_->clients) calls.push_back(c->flush_async());
+    net::RpcEndpoint::wait_all(calls, runtime_->timeout);
+    return;
+  }
   for (auto& n : nodes_) n->flush();
 }
 
+net::NetStats Cluster::net_stats() const {
+  return runtime_ ? runtime_->transport.stats() : net::NetStats{};
+}
+
 ClusterReport Cluster::report() const {
+  // In message mode, settle the write pipeline so usage counters reflect
+  // every accepted super-chunk — the report is then identical to the
+  // direct-call mode's at pipeline depth 1.
+  if (runtime_) runtime_->drain();
   ClusterReport report;
   report.logical_bytes = logical_bytes_;
   report.messages = messages_;

@@ -15,15 +15,41 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "net/transport.h"
 #include "node/dedup_node.h"
 #include "routing/router.h"
 #include "workload/dataset.h"
 
 namespace sigma {
+
+/// How clients reach the deduplication nodes.
+enum class TransportMode {
+  /// In-process method calls (the trace-driven simulator's mode).
+  kDirect,
+  /// Message passing: each node runs behind a NodeService event loop on a
+  /// thread pool; probes, duplicate tests, writes and reads travel as
+  /// request/response messages over a LoopbackTransport.
+  kLoopback,
+};
+
+struct TransportConfig {
+  TransportMode mode = TransportMode::kDirect;
+  /// Max super-chunk writes in flight per cluster (message mode). Routing
+  /// waits until fewer than this many writes are outstanding, so depth 1
+  /// reproduces direct-call semantics (and reports) exactly, while larger
+  /// depths overlap client-side routing with node-side deduplication.
+  std::size_t pipeline_depth = 1;
+  /// Node-service event-loop threads; 0 = one per node, capped at the
+  /// hardware concurrency.
+  std::size_t service_threads = 0;
+  /// Per-RPC timeout, milliseconds.
+  std::uint32_t rpc_timeout_ms = 30000;
+};
 
 struct ClusterConfig {
   std::size_t num_nodes = 4;
@@ -31,6 +57,7 @@ struct ClusterConfig {
   std::uint64_t super_chunk_bytes = 1ull << 20;
   RouterConfig router;
   DedupNodeConfig node;
+  TransportConfig transport;
   /// Extreme Binning deduplicates a file only against its bin (the
   /// published design). Disable to give EB exact per-node dedup (used as
   /// an ablation upper bound).
@@ -72,12 +99,20 @@ struct ClusterReport {
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
 
   std::size_t size() const { return nodes_.size(); }
   DedupNode& node(std::size_t i) { return *nodes_[i]; }
   const DedupNode& node(std::size_t i) const { return *nodes_[i]; }
   Router& router() { return *router_; }
   const ClusterConfig& config() const { return config_; }
+
+  /// True when requests flow over the message transport.
+  bool transport_backed() const { return runtime_ != nullptr; }
+
+  /// Wire-level traffic counters (all zero in direct mode). Distinct from
+  /// MessageStats, which counts the paper's fingerprint-lookup metric.
+  net::NetStats net_stats() const;
 
   /// Process one backup generation in trace form (no payloads).
   void backup(const TraceBackup& backup, StreamId stream = 0);
@@ -90,6 +125,10 @@ class Cluster {
   NodeId place_super_chunk(const SuperChunk& super_chunk, StreamId stream,
                            const DedupNode::PayloadProvider& payloads = {});
 
+  /// Fetch one stored chunk from a node (restore path). Goes over the
+  /// transport in message mode.
+  std::optional<Buffer> read_chunk(NodeId node, const Fingerprint& fp) const;
+
   /// Seal all open containers on every node.
   void flush();
 
@@ -101,11 +140,27 @@ class Cluster {
                                     StreamId stream);
   void backup_chunk_dht(const TraceBackup& backup, StreamId stream);
 
-  std::vector<const DedupNode*> node_views() const;
+  /// Route one unit. In message mode this first waits until the write
+  /// pipeline has a free slot, so at depth 1 every probe observes all
+  /// previous writes applied — bit-identical to direct mode.
+  NodeId route_unit(const std::vector<ChunkRecord>& unit, RouteContext& ctx);
+
+  /// Dispatch one super-chunk write to `target` (direct call or pipelined
+  /// transport write).
+  void submit_write(NodeId target, StreamId stream, const SuperChunk& sc,
+                    const DedupNode::PayloadProvider& payloads = {});
 
   ClusterConfig config_;
   std::vector<std::unique_ptr<DedupNode>> nodes_;
   std::unique_ptr<Router> router_;
+
+  /// Transport-mode machinery (services, client stubs, write pipeline);
+  /// null in direct mode. Defined in cluster.cc.
+  struct TransportRuntime;
+  std::unique_ptr<TransportRuntime> runtime_;
+  /// Probe views the routers consult: the nodes themselves in direct
+  /// mode, RPC stubs in message mode. Fixed at construction.
+  std::vector<const NodeProbe*> views_;
 
   // Extreme Binning bin store: per node, representative-fingerprint ->
   // the bin's chunk fingerprints. Approximate dedup happens against the

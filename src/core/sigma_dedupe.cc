@@ -10,6 +10,7 @@ ClusterConfig make_cluster_config(const MiddlewareConfig& config) {
   cc.super_chunk_bytes = config.client.super_chunk_bytes;
   cc.router = config.router;
   cc.node = config.node;
+  cc.transport = config.transport;
   return cc;
 }
 

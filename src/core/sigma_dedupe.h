@@ -33,6 +33,10 @@ struct MiddlewareConfig {
   BackupClientConfig client;
   RouterConfig router;
   DedupNodeConfig node;
+  /// Direct in-process calls (default) or message passing through the
+  /// node-service transport (TransportMode::kLoopback), with configurable
+  /// super-chunk write pipelining.
+  TransportConfig transport;
 };
 
 class SigmaDedupe {

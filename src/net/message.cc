@@ -1,0 +1,25 @@
+#include "net/message.h"
+
+namespace sigma::net {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kResemblanceProbe:
+      return "ResemblanceProbe";
+    case MessageType::kChunkProbe:
+      return "ChunkProbe";
+    case MessageType::kDuplicateTest:
+      return "DuplicateTest";
+    case MessageType::kWriteSuperChunk:
+      return "WriteSuperChunk";
+    case MessageType::kReadChunk:
+      return "ReadChunk";
+    case MessageType::kStoredBytes:
+      return "StoredBytes";
+    case MessageType::kFlush:
+      return "Flush";
+  }
+  return "?";
+}
+
+}  // namespace sigma::net

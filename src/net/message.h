@@ -1,0 +1,71 @@
+// Typed messages for the node transport. A Message is what travels between
+// a client endpoint and a node service: an operation type, a correlation
+// id pairing requests with responses, source/destination endpoint ids and
+// an opaque serialized body (see net/wire.h and service/wire_protocol.h).
+//
+// The representation is deliberately wire-shaped — a fixed header plus a
+// byte payload — so a socket transport can frame it verbatim; the
+// LoopbackTransport just moves the same struct between threads.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sigma::net {
+
+/// Address of one transport endpoint (a node service or a client).
+using EndpointId = std::uint32_t;
+
+/// The wire operations of the node service protocol.
+enum class MessageType : std::uint8_t {
+  kResemblanceProbe,  // handprint -> match count (Algorithm 1 step 2)
+  kChunkProbe,        // sampled fingerprints -> match count (EMC stateful)
+  kDuplicateTest,     // chunk fingerprints -> present/absent bitmap
+  kWriteSuperChunk,   // chunks (+ unique payloads) -> write result
+  kReadChunk,         // fingerprint -> payload (restore path)
+  kStoredBytes,       // () -> physical bytes used (balance discount)
+  kFlush,             // () -> () : seal open containers
+};
+
+const char* to_string(MessageType type);
+
+/// Whether a message is a request, a successful response, or an error
+/// response (body = UTF-8 error text).
+enum class MessageKind : std::uint8_t { kRequest, kResponse, kError };
+
+struct Message {
+  MessageType type = MessageType::kResemblanceProbe;
+  MessageKind kind = MessageKind::kRequest;
+  std::uint64_t correlation_id = 0;
+  EndpointId src = 0;
+  EndpointId dst = 0;
+  Buffer body;
+
+  /// Fixed header size a socket framing would use (type + kind +
+  /// correlation id + src + dst + body length).
+  static constexpr std::size_t kHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4;
+
+  std::size_t wire_size() const { return kHeaderBytes + body.size(); }
+
+  /// Build the response to `request` with the given body.
+  static Message response_to(const Message& request, Buffer body) {
+    Message m;
+    m.type = request.type;
+    m.kind = MessageKind::kResponse;
+    m.correlation_id = request.correlation_id;
+    m.src = request.dst;
+    m.dst = request.src;
+    m.body = std::move(body);
+    return m;
+  }
+
+  /// Build an error response to `request` carrying `text`.
+  static Message error_to(const Message& request, const std::string& text) {
+    Message m = response_to(request, to_buffer(as_bytes(text)));
+    m.kind = MessageKind::kError;
+    return m;
+  }
+};
+
+}  // namespace sigma::net

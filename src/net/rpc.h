@@ -1,0 +1,125 @@
+// Request/response RPC over a Transport.
+//
+// An RpcEndpoint is one client-side address: it assigns correlation ids,
+// tracks pending calls, matches responses back to their callers and
+// enforces per-call timeouts. Calls are issued asynchronously (`call`
+// returns a PendingCall future-like handle) so a client can keep several
+// requests in flight — the batching/pipelining primitive the cluster's
+// super-chunk write path is built on — or synchronously via `call_sync`.
+//
+// Timeouts are caller-driven: PendingCall::get(timeout) abandons the call
+// on expiry (the endpoint forgets it, a late response is counted and
+// dropped) and throws RpcTimeoutError.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "net/transport.h"
+
+namespace sigma::net {
+
+class RpcError : public std::runtime_error {
+ public:
+  explicit RpcError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class RpcTimeoutError : public RpcError {
+ public:
+  explicit RpcTimeoutError(const std::string& what) : RpcError(what) {}
+};
+
+class RpcEndpoint;
+
+/// Handle to one in-flight call. Movable and copyable (shared state);
+/// `get` may be called once per call from any thread.
+class PendingCall {
+ public:
+  PendingCall() = default;
+
+  /// Wait for the response body. Throws RpcTimeoutError on expiry (the
+  /// call is abandoned) and RpcError if the service answered with an
+  /// error or the endpoint shut down.
+  Buffer get(std::chrono::milliseconds timeout);
+
+  /// True once a response (or error) has arrived.
+  bool done() const;
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class RpcEndpoint;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool error = false;
+    Buffer body;
+    std::string error_text;
+    MessageType type = MessageType::kResemblanceProbe;
+    std::uint64_t correlation_id = 0;
+  };
+
+  PendingCall(RpcEndpoint* endpoint, std::shared_ptr<State> state)
+      : endpoint_(endpoint), state_(std::move(state)) {}
+
+  RpcEndpoint* endpoint_ = nullptr;
+  std::shared_ptr<State> state_;
+};
+
+class RpcEndpoint {
+ public:
+  /// Binds a fresh endpoint on `transport`. The endpoint must not outlive
+  /// the transport, and PendingCalls must not outlive the endpoint.
+  explicit RpcEndpoint(Transport& transport);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  EndpointId id() const { return id_; }
+
+  /// Issue one asynchronous request.
+  PendingCall call(EndpointId dst, MessageType type, Buffer body);
+
+  /// Issue a request and wait for its response.
+  Buffer call_sync(EndpointId dst, MessageType type, Buffer body,
+                   std::chrono::milliseconds timeout);
+
+  /// Wait for a batch of calls issued with `call`. Collects every result
+  /// (so the services finish their work) and then throws the first
+  /// failure, if any. The timeout bounds the whole batch.
+  static std::vector<Buffer> wait_all(std::vector<PendingCall>& calls,
+                                      std::chrono::milliseconds timeout);
+
+  /// Pending (unanswered, unabandoned) call count.
+  std::size_t pending_count() const;
+
+  /// Responses that arrived after their call was abandoned by a timeout.
+  std::uint64_t late_responses() const;
+
+ private:
+  friend class PendingCall;
+
+  void on_message(Message&& m);
+  void abandon(std::uint64_t correlation_id);
+
+  Transport& transport_;
+  EndpointId id_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingCall::State>>
+      pending_;
+  std::uint64_t next_correlation_ = 1;
+  std::uint64_t late_responses_ = 0;
+};
+
+}  // namespace sigma::net

@@ -1,0 +1,84 @@
+#include "net/transport.h"
+
+namespace sigma::net {
+
+EndpointId LoopbackTransport::register_endpoint(Handler handler) {
+  std::lock_guard lock(mu_);
+  const EndpointId id = next_id_++;
+  auto ep = std::make_shared<Endpoint>();
+  ep->handler = std::move(handler);
+  endpoints_.emplace(id, std::move(ep));
+  return id;
+}
+
+void LoopbackTransport::unregister_endpoint(EndpointId id) {
+  std::unique_lock lock(mu_);
+  auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) return;
+  auto ep = it->second;
+  endpoints_.erase(it);
+  // Wait out deliveries already dispatched to this endpoint so the caller
+  // may tear down whatever the handler references.
+  idle_cv_.wait(lock, [&] { return ep->active_deliveries == 0; });
+}
+
+bool LoopbackTransport::deliver(Message&& m) {
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(m.dst);
+    if (it == endpoints_.end()) return false;
+    ep = it->second;
+    ++ep->active_deliveries;
+    ++stats_.messages_sent;
+    stats_.bytes_sent += m.wire_size();
+    switch (m.kind) {
+      case MessageKind::kRequest:
+        ++stats_.requests;
+        break;
+      case MessageKind::kResponse:
+        ++stats_.responses;
+        break;
+      case MessageKind::kError:
+        ++stats_.errors;
+        break;
+    }
+  }
+  ep->handler(std::move(m));
+  {
+    std::lock_guard lock(mu_);
+    --ep->active_deliveries;
+  }
+  idle_cv_.notify_all();
+  return true;
+}
+
+void LoopbackTransport::send(Message&& m) {
+  const bool was_request = m.kind == MessageKind::kRequest;
+  Message header;  // header fields survive the move below
+  header.type = m.type;
+  header.correlation_id = m.correlation_id;
+  header.src = m.src;
+  header.dst = m.dst;
+  if (deliver(std::move(m))) return;
+
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.dropped;
+  }
+  if (!was_request) return;  // a response to a vanished client: drop
+
+  // Bounce a connection-refused-style error back to the requester so its
+  // pending call fails fast instead of timing out. If the requester is
+  // gone too, this second drop is silent.
+  Message bounce = Message::error_to(
+      header, "transport: no endpoint " + std::to_string(header.dst));
+  (void)deliver(std::move(bounce));
+}
+
+NetStats LoopbackTransport::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace sigma::net

@@ -1,0 +1,81 @@
+// Message transport between endpoints. The interface is socket-shaped —
+// register an endpoint (a bound address with a delivery handler), send
+// addressed messages, observe traffic counters — so a TCP implementation
+// can slot in without touching the service or cluster layers.
+//
+// LoopbackTransport is the in-process implementation: delivery invokes the
+// destination's handler on the sender's thread (the handler is expected to
+// enqueue, not to do heavy work). Requests addressed to unknown endpoints
+// bounce back to the sender as error responses, mirroring a connection
+// refusal; responses to unknown endpoints are dropped and counted.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/message.h"
+
+namespace sigma::net {
+
+/// Transport-level traffic counters (wire messages, not the paper's
+/// fingerprint-lookup metric — that stays in cluster::MessageStats).
+struct NetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t dropped = 0;
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  virtual ~Transport() = default;
+
+  /// Bind a new endpoint; the returned id is its address. The handler is
+  /// invoked once per delivered message and must be thread-safe.
+  virtual EndpointId register_endpoint(Handler handler) = 0;
+
+  /// Unbind an endpoint. Blocks until every in-flight delivery to it has
+  /// returned, so the handler's captures may be destroyed afterwards.
+  virtual void unregister_endpoint(EndpointId id) = 0;
+
+  /// Deliver one message to `m.dst`.
+  virtual void send(Message&& m) = 0;
+
+  virtual NetStats stats() const = 0;
+};
+
+/// In-process transport: synchronous handler dispatch, full accounting.
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport() = default;
+
+  EndpointId register_endpoint(Handler handler) override;
+  void unregister_endpoint(EndpointId id) override;
+  void send(Message&& m) override;
+  NetStats stats() const override;
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    int active_deliveries = 0;
+  };
+
+  /// Deliver to a registered endpoint; returns false if unknown.
+  bool deliver(Message&& m);
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
+  EndpointId next_id_ = 1;
+  NetStats stats_;
+};
+
+}  // namespace sigma::net

@@ -35,6 +35,15 @@ std::uint64_t DedupNode::stored_bytes() const {
   return containers_.stored_bytes();
 }
 
+std::vector<bool> DedupNode::test_duplicates(
+    const std::vector<Fingerprint>& fps) const {
+  std::vector<bool> present(fps.size(), false);
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    present[i] = chunk_index_.peek(fps[i]).has_value();
+  }
+  return present;
+}
+
 SuperChunkWriteResult DedupNode::write_super_chunk(
     StreamId stream, const SuperChunk& super_chunk,
     const PayloadProvider& payloads) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "chunking/super_chunk.h"
+#include "node/node_probe.h"
 #include "storage/backend.h"
 #include "storage/bloom_filter.h"
 #include "storage/chunk_index.h"
@@ -35,8 +36,6 @@
 #include "storage/similarity_index.h"
 
 namespace sigma {
-
-using NodeId = std::uint32_t;
 
 struct DedupNodeConfig {
   /// Open-container seal threshold.
@@ -96,7 +95,7 @@ struct DedupNodeStats {
   }
 };
 
-class DedupNode {
+class DedupNode : public NodeProbe {
  public:
   /// Provides payload bytes for the i-th chunk of the super-chunk being
   /// written; absent in trace-driven (metadata-only) operation.
@@ -116,14 +115,21 @@ class DedupNode {
 
   /// Algorithm 1 step 2: how many of these representative fingerprints are
   /// present in this node's similarity index?
-  std::size_t resemblance_count(const Handprint& handprint) const;
+  std::size_t resemblance_count(const Handprint& handprint) const override;
 
   /// EMC-stateful probe: how many of these (sampled) chunk fingerprints
   /// does this node already store?
-  std::size_t chunk_match_count(const std::vector<Fingerprint>& fps) const;
+  std::size_t chunk_match_count(
+      const std::vector<Fingerprint>& fps) const override;
 
   /// Physical capacity used (for the load-balance discount).
-  std::uint64_t stored_bytes() const;
+  std::uint64_t stored_bytes() const override;
+
+  /// Batched duplicate test: for each fingerprint, is the chunk already
+  /// stored (exact chunk index)? Advisory for the wire protocol — the
+  /// client sends payloads only for chunks reported absent; the store path
+  /// re-checks, so a chunk stored concurrently is still deduplicated.
+  std::vector<bool> test_duplicates(const std::vector<Fingerprint>& fps) const;
 
   // ---- Backup path ------------------------------------------------------
 

@@ -1,0 +1,39 @@
+// The remote-probe surface of a deduplication node — the part of a node
+// that data-routing schemes query before placing a routing unit (paper
+// Algorithm 1 step 2 and the EMC stateful sampled probe).
+//
+// Routers program against this interface instead of concrete nodes so the
+// same routing code runs in both deployment modes: the direct-call
+// simulator (DedupNode implements NodeProbe in-process) and the
+// message-passing service stack (service::NodeClient implements it with
+// RPCs over a Transport). Probe *message* accounting stays in the routing
+// layer (RouteContext), so Fig. 7's metric is identical in both modes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chunking/super_chunk.h"
+
+namespace sigma {
+
+using NodeId = std::uint32_t;
+
+class NodeProbe {
+ public:
+  virtual ~NodeProbe() = default;
+
+  /// Algorithm 1 step 2: how many of these representative fingerprints are
+  /// present in the node's similarity index?
+  virtual std::size_t resemblance_count(const Handprint& handprint) const = 0;
+
+  /// EMC-stateful probe: how many of these (sampled) chunk fingerprints
+  /// does the node already store?
+  virtual std::size_t chunk_match_count(
+      const std::vector<Fingerprint>& fps) const = 0;
+
+  /// Physical capacity used (for the load-balance discount).
+  virtual std::uint64_t stored_bytes() const = 0;
+};
+
+}  // namespace sigma

@@ -5,7 +5,7 @@
 namespace sigma {
 
 NodeId ChunkDhtRouter::route(const std::vector<ChunkRecord>& unit,
-                             std::span<const DedupNode* const> nodes,
+                             std::span<const NodeProbe* const> nodes,
                              RouteContext& ctx) {
   (void)ctx;  // DHT placement: no pre-routing messages
   if (nodes.empty()) throw std::invalid_argument("ChunkDhtRouter: no nodes");

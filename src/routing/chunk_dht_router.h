@@ -18,7 +18,7 @@ class ChunkDhtRouter final : public Router {
   }
 
   NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const DedupNode* const> nodes,
+               std::span<const NodeProbe* const> nodes,
                RouteContext& ctx) override;
 };
 

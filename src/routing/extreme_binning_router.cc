@@ -13,7 +13,7 @@ Fingerprint ExtremeBinningRouter::representative(
 }
 
 NodeId ExtremeBinningRouter::route(const std::vector<ChunkRecord>& unit,
-                                   std::span<const DedupNode* const> nodes,
+                                   std::span<const NodeProbe* const> nodes,
                                    RouteContext& ctx) {
   (void)ctx;  // stateless: no pre-routing messages
   if (nodes.empty()) {

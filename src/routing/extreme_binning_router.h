@@ -21,7 +21,7 @@ class ExtremeBinningRouter final : public Router {
   }
 
   NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const DedupNode* const> nodes,
+               std::span<const NodeProbe* const> nodes,
                RouteContext& ctx) override;
 
   /// The representative fingerprint Extreme Binning keys bins with.

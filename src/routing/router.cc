@@ -62,10 +62,10 @@ double discounted_score(std::size_t resemblance, std::uint64_t node_usage,
   return static_cast<double>(resemblance) / rel;
 }
 
-double average_usage(std::span<const DedupNode* const> nodes) {
+double average_usage(std::span<const NodeProbe* const> nodes) {
   if (nodes.empty()) return 0.0;
   double total = 0.0;
-  for (const DedupNode* n : nodes) {
+  for (const NodeProbe* n : nodes) {
     total += static_cast<double>(n->stored_bytes());
   }
   return total / static_cast<double>(nodes.size());

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "chunking/super_chunk.h"
-#include "node/dedup_node.h"
+#include "node/node_probe.h"
 
 namespace sigma {
 
@@ -41,7 +41,7 @@ class Router {
   /// order). `nodes` is the cluster; implementations may probe node state
   /// (stateful schemes) and must account probe messages in `ctx`.
   virtual NodeId route(const std::vector<ChunkRecord>& unit,
-                       std::span<const DedupNode* const> nodes,
+                       std::span<const NodeProbe* const> nodes,
                        RouteContext& ctx) = 0;
 };
 
@@ -77,7 +77,7 @@ double discounted_score(std::size_t resemblance, std::uint64_t node_usage,
                         double average_usage, std::uint64_t epsilon);
 
 /// Cluster-average stored bytes.
-double average_usage(std::span<const DedupNode* const> nodes);
+double average_usage(std::span<const NodeProbe* const> nodes);
 
 }  // namespace routing_detail
 

@@ -12,7 +12,7 @@ SigmaRouter::SigmaRouter(const RouterConfig& config) : config_(config) {
 }
 
 NodeId SigmaRouter::route(const std::vector<ChunkRecord>& unit,
-                          std::span<const DedupNode* const> nodes,
+                          std::span<const NodeProbe* const> nodes,
                           RouteContext& ctx) {
   if (nodes.empty()) throw std::invalid_argument("SigmaRouter: no nodes");
   if (unit.empty()) return 0;

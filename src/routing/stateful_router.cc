@@ -14,7 +14,7 @@ StatefulRouter::StatefulRouter(const RouterConfig& config) : config_(config) {
 }
 
 NodeId StatefulRouter::route(const std::vector<ChunkRecord>& unit,
-                             std::span<const DedupNode* const> nodes,
+                             std::span<const NodeProbe* const> nodes,
                              RouteContext& ctx) {
   if (nodes.empty()) throw std::invalid_argument("StatefulRouter: no nodes");
   if (unit.empty()) return 0;

@@ -20,7 +20,7 @@ class StatefulRouter final : public Router {
   }
 
   NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const DedupNode* const> nodes,
+               std::span<const NodeProbe* const> nodes,
                RouteContext& ctx) override;
 
  private:

@@ -5,7 +5,7 @@
 namespace sigma {
 
 NodeId StatelessRouter::route(const std::vector<ChunkRecord>& unit,
-                              std::span<const DedupNode* const> nodes,
+                              std::span<const NodeProbe* const> nodes,
                               RouteContext& ctx) {
   (void)ctx;  // stateless: no pre-routing messages
   if (nodes.empty()) throw std::invalid_argument("StatelessRouter: no nodes");

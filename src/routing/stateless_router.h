@@ -17,7 +17,7 @@ class StatelessRouter final : public Router {
   }
 
   NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const DedupNode* const> nodes,
+               std::span<const NodeProbe* const> nodes,
                RouteContext& ctx) override;
 };
 

@@ -1,0 +1,149 @@
+#include "service/node_service.h"
+
+#include "net/wire.h"
+#include "service/wire_protocol.h"
+
+namespace sigma::service {
+
+using net::Message;
+using net::MessageKind;
+using net::MessageType;
+
+NodeService::NodeService(DedupNode& node, net::Transport& transport,
+                         ThreadPool& pool)
+    : node_(node),
+      transport_(transport),
+      pool_(pool),
+      endpoint_(transport.register_endpoint(
+          [this](Message&& m) { enqueue(std::move(m)); })) {}
+
+NodeService::~NodeService() {
+  // Stop deliveries (blocks until in-flight enqueues return), then wait
+  // for the drain task to run the inbox dry.
+  transport_.unregister_endpoint(endpoint_);
+  inbox_.close();
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return !draining_ && inbox_.size() == 0; });
+}
+
+void NodeService::enqueue(Message&& m) {
+  if (!inbox_.push(std::move(m))) return;  // shutting down
+  std::lock_guard lock(mu_);
+  if (!draining_) {
+    draining_ = true;
+    pool_.submit([this] { drain(); });
+  }
+}
+
+void NodeService::drain() {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.drain_runs;
+  }
+  while (true) {
+    auto m = inbox_.try_pop();
+    if (!m) break;
+    Message response = handle(*m);
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.requests_served;
+    }
+    transport_.send(std::move(response));
+  }
+  {
+    std::lock_guard lock(mu_);
+    draining_ = false;
+    // A message pushed after the final try_pop re-arms here: its enqueue
+    // either saw draining_==true (so nobody armed) or will arm itself.
+    // Re-arming also covers shutdown, so a closed inbox still drains dry.
+    if (inbox_.size() > 0) {
+      draining_ = true;
+      pool_.submit([this] { drain(); });
+      return;
+    }
+  }
+  idle_cv_.notify_all();
+}
+
+Message NodeService::handle(const Message& request) {
+  if (request.kind != MessageKind::kRequest) {
+    // Services only consume requests; a stray response is a protocol bug.
+    return Message::error_to(request, "service: unexpected response message");
+  }
+  try {
+    const ByteView body{request.body.data(), request.body.size()};
+    switch (request.type) {
+      case MessageType::kResemblanceProbe: {
+        const auto handprint = decode_fingerprints(body);
+        return Message::response_to(
+            request, encode_u64(node_.resemblance_count(handprint)));
+      }
+      case MessageType::kChunkProbe: {
+        const auto fps = decode_fingerprints(body);
+        return Message::response_to(
+            request, encode_u64(node_.chunk_match_count(fps)));
+      }
+      case MessageType::kDuplicateTest: {
+        const auto fps = decode_fingerprints(body);
+        return Message::response_to(
+            request, encode_bitmap(node_.test_duplicates(fps)));
+      }
+      case MessageType::kWriteSuperChunk: {
+        auto req = decode_write_request(body);
+        SuperChunk sc;
+        sc.chunks = std::move(req.chunks);
+        DedupNode::PayloadProvider provider;
+        std::vector<const Buffer*> by_index;
+        if (!req.payloads.empty()) {
+          // Sparse payload lookup: the client sent bytes only for chunks
+          // its duplicate test reported absent; the node asks for a
+          // payload only when it decides a chunk is unique, and unique-at-
+          // store implies absent-at-test, so every ask is answerable.
+          by_index.assign(sc.chunks.size(), nullptr);
+          for (const auto& [idx, buf] : req.payloads) {
+            if (idx >= by_index.size()) {
+              throw net::WireError("write: payload index out of range");
+            }
+            by_index[idx] = &buf;
+          }
+          provider = [&by_index](std::size_t chunk_index) -> ByteView {
+            const Buffer* buf = by_index.at(chunk_index);
+            if (!buf) {
+              throw std::runtime_error(
+                  "write: missing payload for unique chunk #" +
+                  std::to_string(chunk_index));
+            }
+            return ByteView{buf->data(), buf->size()};
+          };
+        }
+        const auto result =
+            node_.write_super_chunk(req.stream, sc, provider);
+        return Message::response_to(request, encode_write_result(result));
+      }
+      case MessageType::kReadChunk: {
+        const auto fp = decode_read_request(body);
+        return Message::response_to(
+            request, encode_read_response(node_.read_chunk(fp)));
+      }
+      case MessageType::kStoredBytes: {
+        return Message::response_to(request, encode_u64(node_.stored_bytes()));
+      }
+      case MessageType::kFlush: {
+        node_.flush();
+        return Message::response_to(request, Buffer{});
+      }
+    }
+    return Message::error_to(request, "service: unknown operation");
+  } catch (const std::exception& e) {
+    std::lock_guard lock(mu_);
+    ++stats_.errors_returned;
+    return Message::error_to(request, e.what());
+  }
+}
+
+NodeServiceStats NodeService::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace sigma::service

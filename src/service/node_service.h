@@ -1,0 +1,67 @@
+// The server side of a deduplication node: an event loop that owns the
+// node's request stream. Transport deliveries enqueue into an MPSC inbox;
+// a drain task on the shared ThreadPool decodes each request, executes it
+// against the DedupNode and sends the response. One drain task runs at a
+// time per service, so every node processes its requests strictly in
+// arrival order — the same serialization a single-threaded socket server
+// would provide — while different nodes run in parallel across the pool.
+//
+// The drain task is re-armed on demand (scheduled only while the inbox is
+// non-empty), so a large cluster idles without pinning pool threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "net/channel.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "node/dedup_node.h"
+
+namespace sigma::service {
+
+struct NodeServiceStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t errors_returned = 0;
+  std::uint64_t drain_runs = 0;
+};
+
+class NodeService {
+ public:
+  /// Binds the node on `transport` and serves it from `pool`. The node,
+  /// transport and pool must outlive the service.
+  NodeService(DedupNode& node, net::Transport& transport, ThreadPool& pool);
+
+  /// Unbinds the endpoint and waits for the in-flight drain to finish.
+  ~NodeService();
+
+  NodeService(const NodeService&) = delete;
+  NodeService& operator=(const NodeService&) = delete;
+
+  /// The service's transport address.
+  net::EndpointId endpoint() const { return endpoint_; }
+
+  DedupNode& node() { return node_; }
+
+  NodeServiceStats stats() const;
+
+ private:
+  void enqueue(net::Message&& m);
+  void drain();
+  net::Message handle(const net::Message& request);
+
+  DedupNode& node_;
+  net::Transport& transport_;
+  ThreadPool& pool_;
+  net::EndpointId endpoint_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  net::Channel<net::Message> inbox_;
+  bool draining_ = false;
+  NodeServiceStats stats_;
+};
+
+}  // namespace sigma::service

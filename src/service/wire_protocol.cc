@@ -1,0 +1,169 @@
+#include "service/wire_protocol.h"
+
+#include "net/wire.h"
+
+namespace sigma::service {
+
+using net::WireReader;
+using net::WireWriter;
+
+Buffer encode_fingerprints(const std::vector<Fingerprint>& fps) {
+  WireWriter w(4 + fps.size() * Fingerprint::kSize);
+  w.u32(static_cast<std::uint32_t>(fps.size()));
+  for (const auto& fp : fps) w.fingerprint(fp);
+  return w.take();
+}
+
+std::vector<Fingerprint> decode_fingerprints(ByteView body) {
+  WireReader r(body);
+  const std::uint32_t n = r.count(Fingerprint::kSize);
+  std::vector<Fingerprint> fps;
+  fps.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) fps.push_back(r.fingerprint());
+  r.expect_done();
+  return fps;
+}
+
+Buffer encode_u64(std::uint64_t v) {
+  WireWriter w(8);
+  w.u64(v);
+  return w.take();
+}
+
+std::uint64_t decode_u64(ByteView body) {
+  WireReader r(body);
+  const std::uint64_t v = r.u64();
+  r.expect_done();
+  return v;
+}
+
+Buffer encode_bitmap(const std::vector<bool>& bits) {
+  WireWriter w(4 + bits.size() / 8 + 1);
+  w.u32(static_cast<std::uint32_t>(bits.size()));
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      w.u8(acc);
+      acc = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) w.u8(acc);
+  return w.take();
+}
+
+std::vector<bool> decode_bitmap(ByteView body) {
+  WireReader r(body);
+  const std::uint32_t n = r.u32();
+  if (r.remaining() < (static_cast<std::size_t>(n) + 7) / 8) {
+    throw net::WireError("bitmap: count exceeds message body");
+  }
+  std::vector<bool> bits(n, false);
+  std::uint8_t acc = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) acc = r.u8();
+    bits[i] = (acc >> (i % 8)) & 1u;
+  }
+  r.expect_done();
+  return bits;
+}
+
+Buffer encode_write_request(const WriteRequest& req) {
+  std::size_t payload_bytes = 0;
+  for (const auto& [idx, buf] : req.payloads) payload_bytes += buf.size() + 8;
+  WireWriter w(12 + req.chunks.size() * (Fingerprint::kSize + 4) +
+               payload_bytes);
+  w.u32(req.stream);
+  w.u32(static_cast<std::uint32_t>(req.chunks.size()));
+  for (const auto& c : req.chunks) {
+    w.fingerprint(c.fp);
+    w.u32(c.size);
+  }
+  w.u32(static_cast<std::uint32_t>(req.payloads.size()));
+  for (const auto& [idx, buf] : req.payloads) {
+    w.u32(idx);
+    w.bytes(ByteView{buf.data(), buf.size()});
+  }
+  return w.take();
+}
+
+WriteRequest decode_write_request(ByteView body) {
+  WireReader r(body);
+  WriteRequest req;
+  req.stream = r.u32();
+  const std::uint32_t n = r.count(Fingerprint::kSize + 4);
+  req.chunks.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ChunkRecord c;
+    c.fp = r.fingerprint();
+    c.size = r.u32();
+    req.chunks.push_back(c);
+  }
+  const std::uint32_t p = r.count(8);  // index u32 + length prefix u32
+  req.payloads.reserve(p);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    const std::uint32_t idx = r.u32();
+    req.payloads.emplace_back(idx, to_buffer(r.bytes()));
+  }
+  r.expect_done();
+  return req;
+}
+
+Buffer encode_write_result(const SuperChunkWriteResult& result) {
+  WireWriter w(8 * 8);
+  w.u64(result.duplicate_chunks);
+  w.u64(result.unique_chunks);
+  w.u64(result.duplicate_bytes);
+  w.u64(result.unique_bytes);
+  w.u64(result.cache_hits);
+  w.u64(result.disk_index_lookups);
+  w.u64(result.disk_lookups_avoided_by_bloom);
+  w.u64(result.container_prefetches);
+  return w.take();
+}
+
+SuperChunkWriteResult decode_write_result(ByteView body) {
+  WireReader r(body);
+  SuperChunkWriteResult result;
+  result.duplicate_chunks = r.u64();
+  result.unique_chunks = r.u64();
+  result.duplicate_bytes = r.u64();
+  result.unique_bytes = r.u64();
+  result.cache_hits = r.u64();
+  result.disk_index_lookups = r.u64();
+  result.disk_lookups_avoided_by_bloom = r.u64();
+  result.container_prefetches = r.u64();
+  r.expect_done();
+  return result;
+}
+
+Buffer encode_read_request(const Fingerprint& fp) {
+  WireWriter w(Fingerprint::kSize);
+  w.fingerprint(fp);
+  return w.take();
+}
+
+Fingerprint decode_read_request(ByteView body) {
+  WireReader r(body);
+  const Fingerprint fp = r.fingerprint();
+  r.expect_done();
+  return fp;
+}
+
+Buffer encode_read_response(const std::optional<Buffer>& payload) {
+  WireWriter w(payload ? payload->size() + 5 : 1);
+  w.u8(payload ? 1 : 0);
+  if (payload) w.bytes(ByteView{payload->data(), payload->size()});
+  return w.take();
+}
+
+std::optional<Buffer> decode_read_response(ByteView body) {
+  WireReader r(body);
+  const bool found = r.u8() != 0;
+  std::optional<Buffer> payload;
+  if (found) payload = to_buffer(r.bytes());
+  r.expect_done();
+  return payload;
+}
+
+}  // namespace sigma::service

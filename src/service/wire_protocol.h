@@ -1,0 +1,60 @@
+// Body codecs for the node service protocol — one encode/decode pair per
+// wire operation of net::MessageType. Kept separate from the transport so
+// the byte format is the single contract between NodeClient (client stubs)
+// and NodeService (server dispatch); a socket peer implementing this file
+// interoperates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+#include "chunking/super_chunk.h"
+#include "node/dedup_node.h"
+
+namespace sigma::service {
+
+// ---- Fingerprint-list bodies (probes and duplicate tests) -----------------
+
+Buffer encode_fingerprints(const std::vector<Fingerprint>& fps);
+std::vector<Fingerprint> decode_fingerprints(ByteView body);
+
+// ---- Scalar bodies --------------------------------------------------------
+
+Buffer encode_u64(std::uint64_t v);
+std::uint64_t decode_u64(ByteView body);
+
+// ---- Duplicate-test response: one bit per queried fingerprint -------------
+
+Buffer encode_bitmap(const std::vector<bool>& bits);
+std::vector<bool> decode_bitmap(ByteView body);
+
+// ---- Batched super-chunk write -------------------------------------------
+
+/// The store half of the batched duplicate-test + store operation: the
+/// super-chunk's chunk records plus payload bytes for exactly the chunks
+/// the preceding duplicate test reported absent (sparse, by chunk index).
+struct WriteRequest {
+  StreamId stream = 0;
+  std::vector<ChunkRecord> chunks;
+  std::vector<std::pair<std::uint32_t, Buffer>> payloads;
+};
+
+Buffer encode_write_request(const WriteRequest& req);
+WriteRequest decode_write_request(ByteView body);
+
+Buffer encode_write_result(const SuperChunkWriteResult& result);
+SuperChunkWriteResult decode_write_result(ByteView body);
+
+// ---- Chunk read (restore path) -------------------------------------------
+
+Buffer encode_read_request(const Fingerprint& fp);
+Fingerprint decode_read_request(ByteView body);
+
+Buffer encode_read_response(const std::optional<Buffer>& payload);
+std::optional<Buffer> decode_read_response(ByteView body);
+
+}  // namespace sigma::service

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/hash_util.h"
+#include "node/dedup_node.h"
 #include "routing/chunk_dht_router.h"
 #include "routing/extreme_binning_router.h"
 #include "routing/router.h"
@@ -44,7 +45,7 @@ class RoutingFixture : public ::testing::Test {
   }
 
   std::vector<std::unique_ptr<DedupNode>> nodes_;
-  std::vector<const DedupNode*> views_;
+  std::vector<const NodeProbe*> views_;
 };
 
 // --- Factory / names ---------------------------------------------------------
@@ -321,7 +322,7 @@ TEST(DiscountTest, DiscountIsBounded) {
 // --- No-node error paths ------------------------------------------------------
 
 TEST(RouterErrorTest, EmptyClusterThrows) {
-  std::vector<const DedupNode*> empty;
+  std::vector<const NodeProbe*> empty;
   RouteContext ctx;
   const std::vector<ChunkRecord> unit{rec(1)};
   EXPECT_THROW(SigmaRouter{RouterConfig{}}.route(unit, empty, ctx),
@@ -346,7 +347,7 @@ TEST_P(AllSchemesSweep, TargetsAlwaysInRange) {
   const auto [scheme, n] = GetParam();
   DedupNodeConfig node_cfg;
   std::vector<std::unique_ptr<DedupNode>> nodes;
-  std::vector<const DedupNode*> views;
+  std::vector<const NodeProbe*> views;
   for (NodeId i = 0; i < n; ++i) {
     nodes.push_back(std::make_unique<DedupNode>(i, node_cfg));
     views.push_back(nodes.back().get());
