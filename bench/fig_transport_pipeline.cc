@@ -7,6 +7,12 @@
 // client's chunking/fingerprinting/routing with the nodes' deduplication
 // event loops, which run in parallel across the service thread pool —
 // expect throughput to rise with depth until node-side work is saturated.
+//
+// By default the sweep runs over the in-process LoopbackTransport. With
+//   bench_fig_transport_pipeline --tcp host:port[:endpoint],...
+// it runs over TCP against node_server daemons instead. Node state
+// persists in the daemons across runs, so TCP mode measures one depth
+// (default 4; override with --depth D) against a fresh fleet.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -51,23 +57,62 @@ std::vector<ContentFile> session_files(int generation, double scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const double scale = bench::bench_scale();
+
+  std::vector<net::TcpNodeAddress> tcp_nodes;
+  std::size_t tcp_depth = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tcp" && i + 1 < argc) {
+      try {
+        tcp_nodes = net::parse_tcp_nodes(argv[++i],
+                                         net::kServiceEndpointBase);
+      } catch (const std::exception& e) {
+        std::cerr << "bench_fig_transport_pipeline: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (arg == "--depth" && i + 1 < argc) {
+      try {
+        tcp_depth = net::parse_number(argv[++i], 4096, "--depth value");
+      } catch (const std::exception& e) {
+        std::cerr << "bench_fig_transport_pipeline: " << e.what() << "\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: bench_fig_transport_pipeline "
+                << "[--tcp host:port[:endpoint],...] [--depth D]\n";
+      return 2;
+    }
+  }
+  const bool over_tcp = !tcp_nodes.empty();
+
   bench::print_header(
       "Transport pipeline: backup throughput vs pipeline depth",
-      "8 nodes, Sigma routing, 256 KB super-chunks, 3 sessions of "
-      "versioned content over the loopback message transport");
+      over_tcp ? "Sigma routing, 256 KB super-chunks, 3 sessions of "
+                 "versioned content over TCP node_server daemons"
+               : "8 nodes, Sigma routing, 256 KB super-chunks, 3 sessions "
+                 "of versioned content over the loopback message transport");
 
   TablePrinter table({"pipeline depth", "backup MB/s", "dedup ratio",
                       "wire msgs", "wire MB"});
 
+  const std::vector<std::size_t> depths =
+      over_tcp ? std::vector<std::size_t>{tcp_depth}
+               : std::vector<std::size_t>{1, 2, 4, 8, 16};
   double depth1_mbps = 0.0;
-  for (std::size_t depth : {1, 2, 4, 8, 16}) {
+  for (std::size_t depth : depths) {
     MiddlewareConfig cfg;
-    cfg.num_nodes = 8;
+    if (over_tcp) {
+      cfg.num_nodes = tcp_nodes.size();
+      cfg.transport.mode = TransportMode::kTcp;
+      cfg.transport.tcp_nodes = tcp_nodes;
+    } else {
+      cfg.num_nodes = 8;
+      cfg.transport.mode = TransportMode::kLoopback;
+    }
     cfg.routing = RoutingScheme::kSigma;
     cfg.client.super_chunk_bytes = 256 * 1024;
-    cfg.transport.mode = TransportMode::kLoopback;
     cfg.transport.pipeline_depth = depth;
     SigmaDedupe dedupe(cfg);
 
@@ -93,9 +138,11 @@ int main() {
   }
   table.print(std::cout);
 
-  std::cout << "\n(speedup over depth 1 comes from overlapping client-side "
-               "routing with node-side dedup; depth 1 = direct-call "
-               "semantics, baseline "
-            << TablePrinter::fmt(depth1_mbps, 1) << " MB/s)\n";
+  if (depth1_mbps > 0.0) {
+    std::cout << "\n(speedup over depth 1 comes from overlapping client-side "
+                 "routing with node-side dedup; depth 1 = direct-call "
+                 "semantics, baseline "
+              << TablePrinter::fmt(depth1_mbps, 1) << " MB/s)\n";
+  }
   return 0;
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verify: full build + test suite, exactly as CI runs it.
+# Tier-1 verify: full build + test suite, exactly as CI runs it, plus the
+# multi-process TCP smoke test (node_server daemons + client over sockets).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cmake -B build -S .
 cmake --build build -j
-cd build
-ctest --output-on-failure -j
+ctest --output-on-failure -j --test-dir build
+
+scripts/tcp_smoke.sh build

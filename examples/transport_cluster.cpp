@@ -5,18 +5,28 @@
 //   BackupClient -> Cluster -> RpcEndpoint -> Transport -> NodeService
 //   (event loop on the thread pool) -> DedupNode -> container storage
 //
-// — with a 4-deep super-chunk write pipeline. The LoopbackTransport keeps
-// delivery in-process; a socket transport would slot in behind the same
-// Transport interface.
+// — with a 4-deep super-chunk write pipeline.
 //
 //   $ ./transport_cluster
+// runs over the in-process LoopbackTransport. Point it at a fleet of
+// node_server daemons instead and the identical pipeline runs over TCP
+// across OS processes. Endpoint ids are the fleet-wide node addresses,
+// so give each daemon a distinct --first-endpoint range:
+//
+//   $ node_server --port 7001 --first-endpoint 100 &   # node 0
+//   $ node_server --port 7002 --first-endpoint 101 &   # node 1
+//   $ ./transport_cluster --tcp 127.0.0.1:7001:100,127.0.0.1:7002:101
+//
+// (Each map entry is host:port[:endpoint], endpoint defaulting to 100; a
+// daemon hosting several nodes exposes them at consecutive ids, e.g.
+// host:port:100 and host:port:101.)
 #include <iostream>
 #include <string>
 
 #include "common/stats.h"
 #include "core/sigma_dedupe.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sigma;
 
   MiddlewareConfig config;
@@ -25,7 +35,26 @@ int main() {
   config.client.super_chunk_bytes = 64 * 1024;
   config.transport.mode = TransportMode::kLoopback;  // message passing on
   config.transport.pipeline_depth = 4;               // writes in flight
-  SigmaDedupe dedupe(config);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tcp" && i + 1 < argc) {
+      try {
+        config.transport.tcp_nodes =
+            net::parse_tcp_nodes(argv[++i], net::kServiceEndpointBase);
+      } catch (const std::exception& e) {
+        std::cerr << "transport_cluster: " << e.what() << "\n";
+        return 2;
+      }
+      config.transport.mode = TransportMode::kTcp;
+      config.transport.rpc_timeout_ms = 10000;
+      config.num_nodes = config.transport.tcp_nodes.size();
+    } else {
+      std::cerr << "usage: transport_cluster [--tcp host:port[:endpoint],...]"
+                << "\n";
+      return 2;
+    }
+  }
 
   // Two backup sessions: the second repeats most of the first, so its
   // duplicate super-chunks never ship payload bytes (source dedup).
@@ -43,30 +72,44 @@ int main() {
   std::vector<ContentFile> tuesday = monday;
   tuesday[1] = make_file("logs.tar", 300000, 'c');  // one file changed
 
-  const auto s1 = dedupe.backup("monday", monday);
-  const auto s2 = dedupe.backup("tuesday", tuesday);
-  dedupe.flush();
+  try {
+    SigmaDedupe dedupe(config);
+    if (config.transport.mode == TransportMode::kTcp) {
+      std::cout << "running over TCP against " << config.num_nodes
+                << " remote node service(s)\n\n";
+    }
+    const auto s1 = dedupe.backup("monday", monday);
+    const auto s2 = dedupe.backup("tuesday", tuesday);
+    dedupe.flush();
 
-  std::cout << "monday:  " << format_bytes(s1.logical_bytes) << " logical, "
-            << format_bytes(s1.transferred_bytes) << " over the wire\n";
-  std::cout << "tuesday: " << format_bytes(s2.logical_bytes) << " logical, "
-            << format_bytes(s2.transferred_bytes) << " over the wire\n";
+    std::cout << "monday:  " << format_bytes(s1.logical_bytes)
+              << " logical, " << format_bytes(s1.transferred_bytes)
+              << " over the wire\n";
+    std::cout << "tuesday: " << format_bytes(s2.logical_bytes)
+              << " logical, " << format_bytes(s2.transferred_bytes)
+              << " over the wire\n";
 
-  // Restore travels over the transport too (container/recipe reads).
-  const Buffer restored = dedupe.restore("tuesday", "db.dump");
-  std::cout << "restored db.dump: " << format_bytes(restored.size())
-            << (restored == monday[0].data ? " (verified)\n" : " (CORRUPT)\n");
+    // Restore travels over the transport too (container/recipe reads).
+    const Buffer restored = dedupe.restore("tuesday", "db.dump");
+    const bool ok = restored == monday[0].data;
+    std::cout << "restored db.dump: " << format_bytes(restored.size())
+              << (ok ? " (verified)\n" : " (CORRUPT)\n");
 
-  const auto report = dedupe.report();
-  const auto net = dedupe.cluster().net_stats();
-  std::cout << "\ncluster dedup ratio: " << TablePrinter::fmt(report.dedup_ratio())
-            << "\nfingerprint-lookup messages (Fig. 7 metric): "
-            << report.messages.total() << " (" << report.messages.pre_routing
-            << " pre-routing + " << report.messages.after_routing
-            << " after-routing)"
-            << "\nwire traffic: " << net.messages_sent << " messages, "
-            << format_bytes(net.bytes_sent) << " ("
-            << net.requests << " requests, " << net.responses
-            << " responses)\n";
-  return 0;
+    const auto report = dedupe.report();
+    const auto net = dedupe.cluster().net_stats();
+    std::cout << "\ncluster dedup ratio: "
+              << TablePrinter::fmt(report.dedup_ratio())
+              << "\nfingerprint-lookup messages (Fig. 7 metric): "
+              << report.messages.total() << " (" << report.messages.pre_routing
+              << " pre-routing + " << report.messages.after_routing
+              << " after-routing)"
+              << "\nwire traffic: " << net.messages_sent << " messages, "
+              << format_bytes(net.bytes_sent) << " ("
+              << net.requests << " requests, " << net.responses
+              << " responses)\n";
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "transport_cluster: " << e.what() << "\n";
+    return 1;
+  }
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Multi-process smoke test: launch two node_server daemons on localhost
+# ephemeral ports (4 nodes total), run a backup + restore through them
+# over TCP with transport_cluster, and check the restore verifies.
+# Usage: scripts/tcp_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+NODE_SERVER="$BUILD/tools/node_server"
+CLIENT="$BUILD/examples/transport_cluster"
+BENCH="$BUILD/bench/bench_fig_transport_pipeline"
+
+[[ -x "$NODE_SERVER" ]] || { echo "missing $NODE_SERVER (build first)"; exit 1; }
+[[ -x "$CLIENT" ]] || { echo "missing $CLIENT (build first)"; exit 1; }
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {  # $1 = log file, $2 = first endpoint id
+  "$NODE_SERVER" --port 0 --nodes 2 --first-endpoint "$2" \
+      > "$1" 2>&1 &
+  PIDS+=($!)
+  for _ in $(seq 1 100); do
+    grep -q READY "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "daemon failed to start:"; cat "$1"; exit 1
+}
+
+echo "== starting 2 node_server daemons (2 nodes each)"
+start_daemon "$WORK/d1.log" 100
+start_daemon "$WORK/d2.log" 102
+P1=$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$WORK/d1.log")
+P2=$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$WORK/d2.log")
+NODES="127.0.0.1:$P1:100,127.0.0.1:$P1:101,127.0.0.1:$P2:102,127.0.0.1:$P2:103"
+echo "== fleet: $NODES"
+
+echo "== backup + restore over TCP"
+OUT=$(timeout 120 "$CLIENT" --tcp "$NODES")
+echo "$OUT"
+grep -q "(verified)" <<< "$OUT" || { echo "FAIL: restore not verified"; exit 1; }
+
+if [[ -x "$BENCH" ]]; then
+  echo "== pipeline bench over TCP (depth 4, small scale)"
+  SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.1}" \
+      timeout 300 "$BENCH" --tcp "$NODES" --depth 4
+fi
+
+echo "== tcp smoke OK"

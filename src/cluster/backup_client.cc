@@ -1,6 +1,8 @@
 #include "cluster/backup_client.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "common/stats.h"
 
@@ -15,11 +17,37 @@ struct StreamChunk {
   std::size_t file_index;
 };
 
+std::size_t resolve_hash_threads(std::size_t configured) {
+  if (configured > 0) return configured;
+  return std::min<std::size_t>(
+      8, std::max(1u, std::thread::hardware_concurrency()));
+}
+
 }  // namespace
 
 BackupClient::BackupClient(const BackupClientConfig& config, Cluster& cluster,
                            Director& director)
-    : config_(config), cluster_(cluster), director_(director) {}
+    : config_(config),
+      cluster_(cluster),
+      director_(director),
+      hash_threads_(resolve_hash_threads(config.hash_threads)) {}
+
+void BackupClient::parallel_over(
+    std::size_t n, std::size_t min_per_shard,
+    const std::function<void(std::size_t)>& fn) const {
+  if (hash_threads_ <= 1 || n < 2 * min_per_shard) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::call_once(hash_pool_once_, [&] {
+    hash_pool_ = std::make_unique<ThreadPool>(hash_threads_);
+  });
+  const std::size_t shards =
+      std::min(hash_pool_->size(), n / min_per_shard);
+  hash_pool_->parallel_for(shards, [&](std::size_t s) {
+    for (std::size_t i = s; i < n; i += shards) fn(i);
+  });
+}
 
 BackupSummary BackupClient::backup(const ContentBackup& session,
                                    StreamId stream) {
@@ -29,19 +57,33 @@ BackupSummary BackupClient::backup(const ContentBackup& session,
 
   const auto chunker = make_chunker(config_.chunking, config_.chunk_bytes);
 
-  // Data partitioning + chunk fingerprinting over the whole session
-  // stream. Payload views point into the session's buffers, which outlive
-  // this call.
+  // Data partitioning: boundaries are computed per file (chunkers are
+  // stateless and const, so one instance serves all threads), files in
+  // parallel across the hash pool.
+  std::vector<std::vector<ChunkBoundary>> boundaries(session.files.size());
+  parallel_over(session.files.size(), /*min_per_shard=*/1,
+                [&](std::size_t f) {
+                  const auto& file = session.files[f];
+                  boundaries[f] = chunker->chunk(
+                      ByteView{file.data.data(), file.data.size()});
+                });
+
+  // Chunk fingerprinting over the whole session stream, parallel across
+  // chunks — SHA-1 is the dominant client-side cost and would otherwise
+  // cap write-pipeline overlap. Stream order is positional, so the
+  // parallel fill is deterministic. Payload views point into the
+  // session's buffers, which outlive this call.
   std::vector<StreamChunk> chunks;
   for (std::size_t f = 0; f < session.files.size(); ++f) {
     const auto& file = session.files[f];
     const ByteView data{file.data.data(), file.data.size()};
-    for (const ChunkBoundary& b : chunker->chunk(data)) {
-      const ByteView payload = data.subspan(b.offset, b.size);
-      chunks.push_back(
-          {{Fingerprint::of(payload, config_.hash), b.size}, payload, f});
+    for (const ChunkBoundary& b : boundaries[f]) {
+      chunks.push_back({{Fingerprint{}, b.size}, data.subspan(b.offset, b.size), f});
     }
   }
+  parallel_over(chunks.size(), /*min_per_shard=*/16, [&](std::size_t i) {
+    chunks[i].record.fp = Fingerprint::of(chunks[i].payload, config_.hash);
+  });
   summary.chunk_count = chunks.size();
 
   // Super-chunk grouping over the session stream (file boundaries do not

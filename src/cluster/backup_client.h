@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/director.h"
+#include "common/thread_pool.h"
 #include "workload/dataset.h"
 
 namespace sigma {
@@ -25,6 +27,10 @@ struct BackupClientConfig {
   std::uint32_t chunk_bytes = 4096;
   HashAlgorithm hash = HashAlgorithm::kSha1;
   std::uint64_t super_chunk_bytes = 1ull << 20;
+  /// Threads for client-side chunking + fingerprinting (the dominant
+  /// client cost; serial it caps write-pipeline overlap around depth 4).
+  /// 0 = one per hardware thread (capped at 8), 1 = serial.
+  std::size_t hash_threads = 0;
 };
 
 /// Outcome of one backup session from the client's perspective.
@@ -59,9 +65,20 @@ class BackupClient {
   Buffer restore(const std::string& session, const std::string& path) const;
 
  private:
+  /// Run fn(i) for i in [0, n), striped across the hash pool (or inline
+  /// when the pool is absent or the job smaller than min_per_shard items
+  /// per worker — pass 1 for coarse items like whole files).
+  void parallel_over(std::size_t n, std::size_t min_per_shard,
+                     const std::function<void(std::size_t)>& fn) const;
+
   BackupClientConfig config_;
   Cluster& cluster_;
   Director& director_;
+  std::size_t hash_threads_;  // resolved from config (1 = serial)
+  /// Created on the first job large enough to shard, so restore-only and
+  /// small-session clients never pay for idle threads.
+  mutable std::once_flag hash_pool_once_;
+  mutable std::unique_ptr<ThreadPool> hash_pool_;
 };
 
 }  // namespace sigma

@@ -9,45 +9,73 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "net/rpc.h"
+#include "net/tcp/tcp_transport.h"
 #include "service/node_client.h"
 #include "service/node_service.h"
+#include "service/wire_protocol.h"
 
 namespace sigma {
 
 /// Everything the message-passing deployment adds on top of the nodes:
-/// the transport, the per-node service event loops, the shared client
-/// endpoint with its node stubs, and the super-chunk write pipeline.
-/// Declaration order is teardown order in reverse: the pool joins before
-/// the transport dies, services unbind before the pool joins.
+/// the transport, the shared client endpoint with its node stubs, and the
+/// super-chunk write pipeline. In loopback mode it also hosts the per-node
+/// service event loops; in TCP mode the services live in node_server
+/// daemons and only the client side exists here. Declaration order is
+/// teardown order in reverse: the pool joins before the transport dies,
+/// services unbind before the pool joins.
 struct Cluster::TransportRuntime {
-  net::LoopbackTransport transport;
-  ThreadPool pool;
-  std::vector<std::unique_ptr<service::NodeService>> services;
+  std::unique_ptr<net::Transport> transport;
+  std::unique_ptr<ThreadPool> pool;                             // loopback
+  std::vector<std::unique_ptr<service::NodeService>> services;  // loopback
   std::unique_ptr<net::RpcEndpoint> rpc;
   std::vector<std::unique_ptr<service::NodeClient>> clients;
   std::chrono::milliseconds timeout;
   std::size_t pipeline_depth;
   std::deque<net::PendingCall> in_flight;
 
+  /// Loopback runtime: in-process services over the local nodes.
   TransportRuntime(std::vector<std::unique_ptr<DedupNode>>& nodes,
                    const TransportConfig& config)
-      : pool(config.service_threads > 0
-                 ? config.service_threads
-                 : std::min<std::size_t>(
-                       nodes.size(),
-                       std::max(2u, std::thread::hardware_concurrency()))),
-        timeout(config.rpc_timeout_ms),
+      : timeout(config.rpc_timeout_ms),
         pipeline_depth(std::max<std::size_t>(1, config.pipeline_depth)) {
+    transport = std::make_unique<net::LoopbackTransport>();
+    // Two drain lanes per node (writes + probe fast lane) can each occupy
+    // a task; sizing for both keeps the fast lane live on small clusters.
+    pool = std::make_unique<ThreadPool>(
+        config.service_threads > 0
+            ? config.service_threads
+            : std::min<std::size_t>(
+                  2 * nodes.size(),
+                  std::max(2u, std::thread::hardware_concurrency())));
     services.reserve(nodes.size());
     for (auto& n : nodes) {
       services.push_back(
-          std::make_unique<service::NodeService>(*n, transport, pool));
+          std::make_unique<service::NodeService>(*n, *transport, *pool));
     }
-    rpc = std::make_unique<net::RpcEndpoint>(transport);
+    rpc = std::make_unique<net::RpcEndpoint>(*transport);
     clients.reserve(nodes.size());
     for (auto& s : services) {
       clients.push_back(std::make_unique<service::NodeClient>(
           *rpc, s->endpoint(), timeout));
+    }
+  }
+
+  /// TCP runtime: client stubs dialed at a fleet of node_server daemons
+  /// described by the node map; no local nodes or services.
+  explicit TransportRuntime(const TransportConfig& config)
+      : timeout(config.rpc_timeout_ms),
+        pipeline_depth(std::max<std::size_t>(1, config.pipeline_depth)) {
+    net::TcpTransportConfig tcp;
+    tcp.endpoint_base = config.tcp_client_endpoint_base;
+    for (const auto& node : config.tcp_nodes) {
+      tcp.remote_endpoints.emplace(node.endpoint, node.address);
+    }
+    transport = std::make_unique<net::TcpTransport>(std::move(tcp));
+    rpc = std::make_unique<net::RpcEndpoint>(*transport);
+    clients.reserve(config.tcp_nodes.size());
+    for (const auto& node : config.tcp_nodes) {
+      clients.push_back(std::make_unique<service::NodeClient>(
+          *rpc, node.endpoint, timeout));
     }
   }
 
@@ -58,6 +86,7 @@ struct Cluster::TransportRuntime {
     clients.clear();
     rpc.reset();
     services.clear();
+    pool.reset();
   }
 
   /// Block until fewer than `limit` writes are outstanding. Entries are
@@ -139,10 +168,32 @@ Cluster::Cluster(const ClusterConfig& config)
   if (config_.num_nodes == 0) {
     throw std::invalid_argument("Cluster: need at least one node");
   }
-  nodes_.reserve(config_.num_nodes);
-  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
-    nodes_.push_back(
-        std::make_unique<DedupNode>(static_cast<NodeId>(i), config_.node));
+  if (config_.transport.mode == TransportMode::kTcp) {
+    // The nodes live in node_server daemons; only client stubs exist here.
+    if (config_.transport.tcp_nodes.size() != config_.num_nodes) {
+      throw std::invalid_argument(
+          "Cluster: num_nodes (" + std::to_string(config_.num_nodes) +
+          ") != tcp_nodes entries (" +
+          std::to_string(config_.transport.tcp_nodes.size()) + ")");
+    }
+    // Endpoint ids are the fleet-wide node addresses: a collision would
+    // silently alias two cluster nodes to one service (daemons must be
+    // started with distinct --first-endpoint ranges).
+    std::unordered_set<net::EndpointId> seen;
+    for (const auto& node : config_.transport.tcp_nodes) {
+      if (!seen.insert(node.endpoint).second) {
+        throw std::invalid_argument(
+            "Cluster: duplicate endpoint id " +
+            std::to_string(node.endpoint) +
+            " in tcp_nodes (give each daemon a distinct --first-endpoint)");
+      }
+    }
+  } else {
+    nodes_.reserve(config_.num_nodes);
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+      nodes_.push_back(
+          std::make_unique<DedupNode>(static_cast<NodeId>(i), config_.node));
+    }
   }
   if (config_.scheme == RoutingScheme::kExtremeBinning &&
       config_.eb_bin_dedup) {
@@ -150,8 +201,10 @@ Cluster::Cluster(const ClusterConfig& config)
   }
   if (config_.transport.mode == TransportMode::kLoopback) {
     runtime_ = std::make_unique<TransportRuntime>(nodes_, config_.transport);
+  } else if (config_.transport.mode == TransportMode::kTcp) {
+    runtime_ = std::make_unique<TransportRuntime>(config_.transport);
   }
-  views_.reserve(nodes_.size());
+  views_.reserve(config_.num_nodes);
   if (runtime_) {
     for (const auto& c : runtime_->clients) views_.push_back(c.get());
   } else {
@@ -263,8 +316,8 @@ void Cluster::backup_files_extreme_binning(const TraceBackup& backup,
 void Cluster::backup_chunk_dht(const TraceBackup& backup, StreamId stream) {
   // Per-chunk DHT placement; chunks headed to the same node are batched
   // into write units so container locality reflects arrival order.
-  std::vector<SuperChunk> pending(nodes_.size());
-  std::vector<std::uint64_t> pending_bytes(nodes_.size(), 0);
+  std::vector<SuperChunk> pending(size());
+  std::vector<std::uint64_t> pending_bytes(size(), 0);
 
   auto flush_node = [&](std::size_t i) {
     if (pending[i].chunks.empty()) return;
@@ -287,7 +340,7 @@ void Cluster::backup_chunk_dht(const TraceBackup& backup, StreamId stream) {
       }
     }
   }
-  for (std::size_t i = 0; i < nodes_.size(); ++i) flush_node(i);
+  for (std::size_t i = 0; i < size(); ++i) flush_node(i);
 }
 
 NodeId Cluster::place_super_chunk(const SuperChunk& super_chunk,
@@ -307,7 +360,7 @@ NodeId Cluster::place_super_chunk(const SuperChunk& super_chunk,
 
 std::optional<Buffer> Cluster::read_chunk(NodeId node,
                                           const Fingerprint& fp) const {
-  if (node >= nodes_.size()) {
+  if (node >= size()) {
     throw std::invalid_argument("Cluster: bad node id");
   }
   if (runtime_) {
@@ -331,7 +384,7 @@ void Cluster::flush() {
 }
 
 net::NetStats Cluster::net_stats() const {
-  return runtime_ ? runtime_->transport.stats() : net::NetStats{};
+  return runtime_ ? runtime_->transport->stats() : net::NetStats{};
 }
 
 ClusterReport Cluster::report() const {
@@ -342,11 +395,29 @@ ClusterReport Cluster::report() const {
   ClusterReport report;
   report.logical_bytes = logical_bytes_;
   report.messages = messages_;
-  report.node_usage.reserve(nodes_.size());
+  report.node_usage.reserve(size());
   const bool eb_bins = !eb_state_.empty();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const std::uint64_t usage =
-        eb_bins ? eb_state_[i].stored_bytes : nodes_[i]->stored_bytes();
+  // Usage comes from the EB bin ledger (client-side), the local nodes,
+  // or — in TCP mode — batched stored-bytes RPCs to the node daemons
+  // (one fleet round-trip, not one per node).
+  std::vector<std::uint64_t> remote_usage;
+  if (!eb_bins && nodes_.empty() && runtime_) {
+    std::vector<net::PendingCall> calls;
+    calls.reserve(runtime_->clients.size());
+    for (const auto& c : runtime_->clients) {
+      calls.push_back(c->stored_bytes_async());
+    }
+    const auto bodies = net::RpcEndpoint::wait_all(calls, runtime_->timeout);
+    remote_usage.reserve(bodies.size());
+    for (const auto& body : bodies) {
+      remote_usage.push_back(
+          service::decode_u64(ByteView{body.data(), body.size()}));
+    }
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::uint64_t usage = eb_bins          ? eb_state_[i].stored_bytes
+                                : nodes_.empty() ? remote_usage[i]
+                                                 : nodes_[i]->stored_bytes();
     report.node_usage.push_back(usage);
     report.physical_bytes += usage;
   }

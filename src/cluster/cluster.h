@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/tcp/socket.h"
 #include "net/transport.h"
 #include "node/dedup_node.h"
 #include "routing/router.h"
@@ -35,6 +36,11 @@ enum class TransportMode {
   /// thread pool; probes, duplicate tests, writes and reads travel as
   /// request/response messages over a LoopbackTransport.
   kLoopback,
+  /// Real sockets: the nodes live in node_server daemons (other
+  /// processes, possibly other hosts); every operation travels as a
+  /// length-prefixed frame over TCP. The fleet is described by
+  /// TransportConfig::tcp_nodes.
+  kTcp,
 };
 
 struct TransportConfig {
@@ -44,11 +50,20 @@ struct TransportConfig {
   /// reproduces direct-call semantics (and reports) exactly, while larger
   /// depths overlap client-side routing with node-side deduplication.
   std::size_t pipeline_depth = 1;
-  /// Node-service event-loop threads; 0 = one per node, capped at the
-  /// hardware concurrency.
+  /// Node-service event-loop threads; 0 = two per node (one per drain
+  /// lane, so probes overtake write backlogs), capped at the hardware
+  /// concurrency. (Loopback mode; TCP daemons size their own.)
   std::size_t service_threads = 0;
   /// Per-RPC timeout, milliseconds.
   std::uint32_t rpc_timeout_ms = 30000;
+  /// kTcp only: the node map — one entry per remote node service, in node
+  /// id order (cluster node i is tcp_nodes[i]). num_nodes must match
+  /// tcp_nodes.size(). See net::parse_tcp_nodes for "host:port[:endpoint]"
+  /// string form.
+  std::vector<net::TcpNodeAddress> tcp_nodes;
+  /// kTcp only: this client's endpoint id range. Give each client process
+  /// sharing a fleet a distinct base.
+  net::EndpointId tcp_client_endpoint_base = net::kClientEndpointBase;
 };
 
 struct ClusterConfig {
@@ -101,9 +116,11 @@ class Cluster {
   explicit Cluster(const ClusterConfig& config);
   ~Cluster();
 
-  std::size_t size() const { return nodes_.size(); }
-  DedupNode& node(std::size_t i) { return *nodes_[i]; }
-  const DedupNode& node(std::size_t i) const { return *nodes_[i]; }
+  std::size_t size() const { return config_.num_nodes; }
+  /// Local node access — direct and loopback modes only (in kTcp mode the
+  /// nodes live in other processes; throws std::out_of_range).
+  DedupNode& node(std::size_t i) { return *nodes_.at(i); }
+  const DedupNode& node(std::size_t i) const { return *nodes_.at(i); }
   Router& router() { return *router_; }
   const ClusterConfig& config() const { return config_; }
 

@@ -28,11 +28,21 @@ enum class MessageType : std::uint8_t {
   kFlush,             // () -> () : seal open containers
 };
 
+/// Highest valid op byte — the TCP frame decoder rejects anything above
+/// it as a protocol error. Keep in sync when appending operations, or
+/// remote peers will drop the new op's frames.
+inline constexpr std::uint8_t kMaxMessageType =
+    static_cast<std::uint8_t>(MessageType::kFlush);
+
 const char* to_string(MessageType type);
 
 /// Whether a message is a request, a successful response, or an error
 /// response (body = UTF-8 error text).
 enum class MessageKind : std::uint8_t { kRequest, kResponse, kError };
+
+/// Highest valid kind byte (see kMaxMessageType).
+inline constexpr std::uint8_t kMaxMessageKind =
+    static_cast<std::uint8_t>(MessageKind::kError);
 
 struct Message {
   MessageType type = MessageType::kResemblanceProbe;

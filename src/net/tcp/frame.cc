@@ -1,0 +1,103 @@
+#include "net/tcp/frame.h"
+
+namespace sigma::net {
+
+Buffer encode_hello(const Hello& hello) {
+  WireWriter w(Hello::kWireBytes);
+  w.u32(kFrameMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(hello.role));
+  return w.take();
+}
+
+Hello decode_hello(ByteView data) {
+  try {
+    WireReader r(data);
+    const std::uint32_t magic = r.u32();
+    if (magic != kFrameMagic) {
+      throw FrameError("handshake: bad magic");
+    }
+    const std::uint8_t version = r.u8();
+    if (version != kProtocolVersion) {
+      throw FrameError("handshake: protocol version " +
+                       std::to_string(version) + " != " +
+                       std::to_string(kProtocolVersion));
+    }
+    const std::uint8_t role = r.u8();
+    if (role > static_cast<std::uint8_t>(PeerRole::kServer)) {
+      throw FrameError("handshake: bad role byte");
+    }
+    Hello hello;
+    hello.role = static_cast<PeerRole>(role);
+    return hello;
+  } catch (const WireError& e) {
+    throw FrameError(std::string("handshake: ") + e.what());
+  }
+}
+
+Buffer encode_frame(const Message& m) {
+  WireWriter w(m.wire_size());
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.u64(m.correlation_id);
+  w.u32(m.src);
+  w.u32(m.dst);
+  w.u32(static_cast<std::uint32_t>(m.body.size()));
+  Buffer out = w.take();
+  out.insert(out.end(), m.body.begin(), m.body.end());
+  return out;
+}
+
+void FrameDecoder::feed(ByteView data) {
+  // Compact the consumed prefix before it grows past a frame's worth.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (1u << 16))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Message> FrameDecoder::next() {
+  if (buf_.size() - pos_ < Message::kHeaderBytes) return std::nullopt;
+  const ByteView header{buf_.data() + pos_, Message::kHeaderBytes};
+  WireReader r(header);
+  const std::uint8_t type = r.u8();
+  const std::uint8_t kind = r.u8();
+  const std::uint64_t correlation = r.u64();
+  const EndpointId src = r.u32();
+  const EndpointId dst = r.u32();
+  const std::uint32_t body_len = r.u32();
+  // Validate the header before buffering the body: a corrupt length or an
+  // op byte outside the protocol poisons the whole stream.
+  if (type > kMaxMessageType) {
+    throw FrameError("frame: unknown op byte " + std::to_string(type));
+  }
+  if (kind > kMaxMessageKind) {
+    throw FrameError("frame: bad kind byte " + std::to_string(kind));
+  }
+  if (body_len > max_body_bytes_) {
+    throw FrameError("frame: body length " + std::to_string(body_len) +
+                     " exceeds limit " + std::to_string(max_body_bytes_));
+  }
+  if (buf_.size() - pos_ < Message::kHeaderBytes + body_len) {
+    return std::nullopt;  // body still in flight
+  }
+  Message m;
+  m.type = static_cast<MessageType>(type);
+  m.kind = static_cast<MessageKind>(kind);
+  m.correlation_id = correlation;
+  m.src = src;
+  m.dst = dst;
+  const auto body_begin =
+      buf_.begin() + static_cast<long>(pos_ + Message::kHeaderBytes);
+  m.body.assign(body_begin, body_begin + static_cast<long>(body_len));
+  pos_ += Message::kHeaderBytes + body_len;
+  return m;
+}
+
+void FrameDecoder::reset() {
+  buf_.clear();
+  pos_ = 0;
+}
+
+}  // namespace sigma::net

@@ -1,0 +1,81 @@
+// Wire framing for the TCP transport. A connection carries, in order:
+//
+//   * one HELLO each way — magic, protocol version and peer role
+//     (handshake; a peer speaking anything else is disconnected), then
+//   * a stream of frames, each a Message serialized verbatim: the fixed
+//     header of Message::kHeaderBytes (type, kind, correlation id, src,
+//     dst, body length — all little-endian via the wire.h codec) followed
+//     by the body bytes.
+//
+// Decoding is incremental (feed() partial reads, next() complete
+// messages) and defensive: header fields are validated before the body is
+// buffered, so a hostile or corrupt peer costs at most one header of
+// memory and gets its connection closed (FrameError), never a crash or an
+// unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "net/message.h"
+#include "net/wire.h"
+
+namespace sigma::net {
+
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// "SGM1": protocol magic leading every HELLO.
+inline constexpr std::uint32_t kFrameMagic = 0x314D4753;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Peer roles exchanged in the HELLO (informational, for diagnostics).
+enum class PeerRole : std::uint8_t { kClient = 0, kServer = 1 };
+
+/// The handshake message: magic + version + role.
+struct Hello {
+  PeerRole role = PeerRole::kClient;
+
+  static constexpr std::size_t kWireBytes = 4 + 1 + 1;
+};
+
+Buffer encode_hello(const Hello& hello);
+
+/// Decode a HELLO from exactly Hello::kWireBytes. Throws FrameError on a
+/// magic/version mismatch (the peer is not speaking this protocol).
+Hello decode_hello(ByteView data);
+
+/// Serialize one message as a frame (header + body).
+Buffer encode_frame(const Message& m);
+
+/// Incremental frame decoder: feed() network reads, next() until empty.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_body_bytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  /// Append raw bytes received from the connection.
+  void feed(ByteView data);
+
+  /// Extract the next complete message, if one is buffered. Throws
+  /// FrameError on a malformed header (invalid type/kind byte, body
+  /// length above the limit) — the caller must drop the connection, the
+  /// stream cannot be resynchronized.
+  std::optional<Message> next();
+
+  /// Drop all buffered state (connection re-established).
+  void reset();
+
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_body_bytes_;
+  Buffer buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sigma::net

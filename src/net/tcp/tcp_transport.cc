@@ -1,0 +1,734 @@
+#include "net/tcp/tcp_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace sigma::net {
+namespace {
+
+/// Header-only copy of a message (for bounce bookkeeping).
+Message header_of(const Message& m) {
+  Message h;
+  h.type = m.type;
+  h.kind = m.kind;
+  h.correlation_id = m.correlation_id;
+  h.src = m.src;
+  h.dst = m.dst;
+  return h;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)), next_id_(config_.endpoint_base) {
+  if (config_.listen) {
+    listen_fd_ = tcp_listen(*config_.listen);
+    listen_port_ = bound_port(listen_fd_.get());
+  }
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw SocketError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_ = SocketFd(fds[0]);
+  wake_write_ = SocketFd(fds[1]);
+  set_nonblocking(wake_read_.get());
+  set_nonblocking(wake_write_.get());
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  wake_loop();
+  write_cv_.notify_all();
+  loop_thread_.join();
+  // Connections, the listener and the wake pipe close via RAII. No
+  // deliveries can be in flight: only the (joined) loop thread delivered.
+}
+
+EndpointId TcpTransport::register_endpoint(Handler handler) {
+  std::lock_guard lock(mu_);
+  const EndpointId id = next_id_++;
+  auto ep = std::make_shared<Endpoint>();
+  ep->handler = std::move(handler);
+  endpoints_.emplace(id, std::move(ep));
+  return id;
+}
+
+void TcpTransport::unregister_endpoint(EndpointId id) {
+  std::unique_lock lock(mu_);
+  auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) return;
+  auto ep = it->second;
+  endpoints_.erase(it);
+  // Wait out deliveries already dispatched to this endpoint so the caller
+  // may tear down whatever the handler references.
+  idle_cv_.wait(lock, [&] { return ep->active_deliveries == 0; });
+}
+
+bool TcpTransport::deliver_local(Message&& m) {
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(m.dst);
+    if (it == endpoints_.end()) return false;
+    ep = it->second;
+    ++ep->active_deliveries;
+  }
+  ep->handler(std::move(m));
+  {
+    std::lock_guard lock(mu_);
+    --ep->active_deliveries;
+  }
+  idle_cv_.notify_all();
+  return true;
+}
+
+void TcpTransport::bounce_request(const Message& header,
+                                  const std::string& text) {
+  {
+    std::lock_guard lock(mu_);
+    ++tcp_stats_.bounced_requests;
+    ++stats_.errors;
+  }
+  Message bounce = Message::error_to(header, "transport: " + text);
+  (void)deliver_local(std::move(bounce));  // requester gone: silent drop
+}
+
+void TcpTransport::wake_loop() {
+  const char byte = 1;
+  (void)!::write(wake_write_.get(), &byte, 1);  // pipe full = loop awake
+}
+
+void TcpTransport::send(Message&& m) {
+  const Message header = header_of(m);
+  const bool is_request = m.kind == MessageKind::kRequest;
+  const std::size_t body_size = m.body.size();
+
+  // Resolve a first-contact peer's address before taking mu_: a slow DNS
+  // lookup then costs only this producer, never the loop or other
+  // senders. (remote_endpoints is immutable after construction.)
+  std::optional<TcpAddress> dial;
+  bool maybe_local = false;
+  {
+    std::lock_guard lock(mu_);
+    maybe_local = endpoints_.count(m.dst) > 0;
+    if (!maybe_local && routes_.find(m.dst) == routes_.end()) {
+      auto pit = config_.remote_endpoints.find(m.dst);
+      if (pit != config_.remote_endpoints.end() &&
+          outbound_.find({pit->second.host, pit->second.port}) ==
+              outbound_.end()) {
+        dial = pit->second;
+      }
+    }
+  }
+  std::optional<TcpAddress> resolved;
+  if (dial) {
+    try {
+      resolved = resolve_numeric(*dial);
+    } catch (const SocketError& e) {
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.dropped;
+      }
+      if (is_request) {
+        bounce_request(header, std::string("resolve failed: ") + e.what());
+      }
+      return;
+    }
+  }
+
+  // Frame the body before taking mu_ — the copy can be tens of MB and
+  // must not stall the loop or other producers. (Skipped when the
+  // destination looks local; the rare registration race re-encodes under
+  // the lock, and a header-only frame can never be empty.)
+  Buffer frame;
+  if (!maybe_local && body_size <= config_.max_body_bytes) {
+    frame = encode_frame(m);
+  }
+
+  bool local = false;
+  bool oversized = false;
+  ConnPtr conn;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    if (endpoints_.count(m.dst) > 0) {
+      local = true;
+    } else {
+      auto rit = routes_.find(m.dst);
+      if (rit != routes_.end()) {
+        conn = rit->second;
+      } else {
+        auto pit = config_.remote_endpoints.find(m.dst);
+        if (pit != config_.remote_endpoints.end()) {
+          auto& slot = outbound_[{pit->second.host, pit->second.port}];
+          if (!slot) {
+            slot = std::make_shared<Conn>(config_.max_body_bytes);
+            slot->outbound = true;
+            slot->address = resolved ? *resolved : pit->second;
+          }
+          conn = slot;
+        }
+      }
+      if (conn && body_size > config_.max_body_bytes) {
+        // Fail the offending message locally: shipping it would poison
+        // the shared connection when the peer rejects the frame. (Both
+        // sides of a deployment share one max_body_bytes.)
+        ++stats_.dropped;
+        conn = nullptr;
+        oversized = true;
+      } else if (conn) {
+        if (frame.empty()) frame = encode_frame(m);
+        stats_.bytes_sent += frame.size();
+        ++stats_.messages_sent;
+        switch (m.kind) {
+          case MessageKind::kRequest:
+            ++stats_.requests;
+            break;
+          case MessageKind::kResponse:
+            ++stats_.responses;
+            break;
+          case MessageKind::kError:
+            ++stats_.errors;
+            break;
+        }
+        // Track our own requests until their response arrives, so a dead
+        // connection fails them instead of leaving the caller to time out.
+        if (is_request && endpoints_.count(m.src) > 0) {
+          conn->awaiting_response.emplace(
+              std::pair{m.src, m.correlation_id},
+              Conn::TrackedRequest{header, std::chrono::steady_clock::now()});
+        }
+        conn->outbox_bytes += frame.size();
+        conn->outbox.push_back(std::move(frame));
+      } else {
+        ++stats_.dropped;
+      }
+    }
+  }
+
+  if (local) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.messages_sent;
+      stats_.bytes_sent += m.wire_size();
+      switch (m.kind) {
+        case MessageKind::kRequest:
+          ++stats_.requests;
+          break;
+        case MessageKind::kResponse:
+          ++stats_.responses;
+          break;
+        case MessageKind::kError:
+          ++stats_.errors;
+          break;
+      }
+    }
+    if (!deliver_local(std::move(m))) {
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.dropped;
+      }
+      if (is_request) bounce_request(header, "endpoint unregistered");
+    }
+    return;
+  }
+
+  if (!conn) {
+    if (is_request) {
+      bounce_request(header,
+                     oversized
+                         ? "message body " + std::to_string(body_size) +
+                               " exceeds limit " +
+                               std::to_string(config_.max_body_bytes)
+                         : "no route to endpoint " +
+                               std::to_string(header.dst));
+    }
+    return;
+  }
+
+  wake_loop();
+
+  // Backpressure: block producers (never the loop thread) while this
+  // connection's queue is past the high watermark. A dying connection
+  // clears its queue; a peer that stays wedged past the stall timeout is
+  // failed (the loop owns the fd), so this always unblocks.
+  if (!on_loop_thread()) {
+    std::unique_lock lock(mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.write_stall_timeout_ms);
+    const bool drained = write_cv_.wait_until(lock, deadline, [&] {
+      return stopping_ ||
+             conn->outbox_bytes <= config_.write_high_watermark;
+    });
+    if (!drained) {
+      conn->stalled = true;
+      lock.unlock();
+      wake_loop();
+      lock.lock();
+      write_cv_.wait(lock, [&] {
+        return stopping_ ||
+               conn->outbox_bytes <= config_.write_high_watermark;
+      });
+    }
+  }
+}
+
+NetStats TcpTransport::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+TcpTransportStats TcpTransport::tcp_stats() const {
+  std::lock_guard lock(mu_);
+  return tcp_stats_;
+}
+
+// ---- Event loop ------------------------------------------------------------
+
+void TcpTransport::loop() {
+  std::vector<pollfd> pfds;
+  std::vector<ConnPtr> polled;  // parallel to pfds entries past the fixed two
+
+  while (true) {
+    std::vector<ConnPtr> to_dial;
+    std::vector<ConnPtr> to_fail;
+    int timeout_ms = 200;
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) return;
+
+      // Reap finished inbound connections.
+      inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                    [](const ConnPtr& c) { return c->dead; }),
+                     inbound_.end());
+
+      const auto now = std::chrono::steady_clock::now();
+      // Sweep request tracking that outlived any plausible RPC timeout:
+      // the caller abandoned those calls without telling us, and a
+      // response will never arrive to erase them.
+      const auto track_cutoff =
+          now - std::chrono::milliseconds(config_.request_track_ttl_ms);
+      auto sweep_tracking = [&](const ConnPtr& conn) {
+        for (auto it = conn->awaiting_response.begin();
+             it != conn->awaiting_response.end();) {
+          it = (it->second.queued_at < track_cutoff)
+                   ? conn->awaiting_response.erase(it)
+                   : std::next(it);
+        }
+      };
+      for (auto& conn : inbound_) {
+        if (conn->stalled) to_fail.push_back(conn);
+        sweep_tracking(conn);
+      }
+      for (auto& [key, conn] : outbound_) {
+        sweep_tracking(conn);
+        if (conn->stalled) {
+          to_fail.push_back(conn);
+          continue;
+        }
+        const bool has_work =
+            !conn->outbox.empty() || !conn->awaiting_response.empty();
+        if (!has_work) continue;
+        if (conn->state == Conn::State::kIdle) {
+          to_dial.push_back(conn);
+        } else if (conn->state == Conn::State::kBackoff) {
+          if (conn->retry_at <= now) {
+            to_dial.push_back(conn);
+          } else {
+            const auto wait = std::chrono::duration_cast<
+                std::chrono::milliseconds>(conn->retry_at - now);
+            timeout_ms = std::min<int>(
+                timeout_ms, static_cast<int>(wait.count()) + 1);
+          }
+        }
+      }
+    }
+
+    for (const auto& conn : to_fail) {
+      close_conn(conn, "write stalled past backpressure timeout");
+    }
+    for (const auto& conn : to_dial) loop_dial(conn);
+
+    pfds.clear();
+    polled.clear();
+    pfds.push_back({wake_read_.get(), POLLIN, 0});
+    if (listen_fd_.valid()) pfds.push_back({listen_fd_.get(), POLLIN, 0});
+    {
+      std::lock_guard lock(mu_);
+      auto add_conn = [&](const ConnPtr& conn) {
+        if (!conn->fd.valid()) return;
+        short events = 0;
+        switch (conn->state) {
+          case Conn::State::kConnecting:
+            events = POLLOUT;
+            break;
+          case Conn::State::kHello:
+            events = POLLIN;
+            if (conn->hello_sent < conn->hello_out.size()) events |= POLLOUT;
+            break;
+          case Conn::State::kEstablished:
+            events = POLLIN;
+            if (conn->hello_sent < conn->hello_out.size() ||
+                !conn->outbox.empty()) {
+              events |= POLLOUT;
+            }
+            break;
+          default:
+            return;
+        }
+        pfds.push_back({conn->fd.get(), events, 0});
+        polled.push_back(conn);
+      };
+      for (auto& [key, conn] : outbound_) add_conn(conn);
+      for (auto& conn : inbound_) add_conn(conn);
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0) continue;  // EINTR or transient failure: rebuild and retry
+
+    std::size_t idx = 0;
+    if (pfds[idx].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    ++idx;
+    if (listen_fd_.valid()) {
+      if (pfds[idx].revents & POLLIN) loop_accept();
+      ++idx;
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const ConnPtr& conn = polled[i];
+      const short revents = pfds[idx + i].revents;
+      if (revents == 0 || !conn->fd.valid()) continue;
+      if (conn->state == Conn::State::kConnecting) {
+        if (revents & (POLLOUT | POLLERR | POLLHUP)) loop_connect_ready(conn);
+        continue;
+      }
+      if (revents & (POLLERR | POLLHUP)) {
+        // Flush what the peer sent before it hung up, then close.
+        if (revents & POLLIN) loop_readable(conn);
+        if (conn->fd.valid()) close_conn(conn, "connection reset");
+        continue;
+      }
+      if (revents & POLLOUT) loop_writable(conn);
+      if ((revents & POLLIN) && conn->fd.valid()) loop_readable(conn);
+    }
+  }
+}
+
+void TcpTransport::loop_accept() {
+  while (true) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: next poll retries
+    auto conn = std::make_shared<Conn>(config_.max_body_bytes);
+    conn->fd = SocketFd(fd);
+    try {
+      set_nonblocking(fd);
+    } catch (const SocketError&) {
+      continue;  // conn drops, fd closed by RAII
+    }
+    Hello hello;
+    hello.role = PeerRole::kServer;
+    conn->hello_out = encode_hello(hello);
+    std::lock_guard lock(mu_);
+    conn->state = Conn::State::kHello;
+    ++tcp_stats_.connections_accepted;
+    inbound_.push_back(std::move(conn));
+  }
+}
+
+void TcpTransport::loop_dial(const ConnPtr& conn) {
+  try {
+    bool in_progress = false;
+    SocketFd fd = tcp_connect_start(conn->address, in_progress);
+    Hello hello;
+    hello.role = config_.listen ? PeerRole::kServer : PeerRole::kClient;
+    std::lock_guard lock(mu_);
+    conn->fd = std::move(fd);
+    conn->hello_out = encode_hello(hello);
+    conn->hello_sent = 0;
+    conn->hello_in.clear();
+    conn->decoder.reset();
+    conn->state =
+        in_progress ? Conn::State::kConnecting : Conn::State::kHello;
+  } catch (const SocketError& e) {
+    connect_failed(conn, e.what());
+  }
+}
+
+void TcpTransport::loop_connect_ready(const ConnPtr& conn) {
+  const int err = take_socket_error(conn->fd.get());
+  if (err != 0) {
+    connect_failed(conn, std::string("connect ") + conn->address.to_string() +
+                             ": " + std::strerror(err));
+    return;
+  }
+  std::lock_guard lock(mu_);
+  conn->state = Conn::State::kHello;
+}
+
+void TcpTransport::connect_failed(const ConnPtr& conn,
+                                  const std::string& reason) {
+  std::vector<Message> bounces;
+  {
+    std::lock_guard lock(mu_);
+    ++tcp_stats_.connect_failures;
+    conn->fd.reset();
+    ++conn->attempts;
+    if (conn->attempts < config_.connect_attempts) {
+      const std::uint32_t shift =
+          std::min<std::uint32_t>(conn->attempts - 1, 10);
+      const std::uint32_t backoff = std::min(
+          config_.connect_backoff_max_ms, config_.connect_backoff_ms << shift);
+      conn->state = Conn::State::kBackoff;
+      conn->retry_at = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(backoff);
+      return;
+    }
+    // Out of attempts: fail every queued request and start fresh on the
+    // next send toward this peer.
+    for (auto& [key, tracked] : conn->awaiting_response) {
+      bounces.push_back(tracked.header);
+    }
+    conn->awaiting_response.clear();
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+    conn->out_offset = 0;
+    conn->attempts = 0;
+    conn->state = Conn::State::kIdle;
+    write_cv_.notify_all();
+  }
+  for (const auto& h : bounces) bounce_request(h, reason);
+}
+
+void TcpTransport::close_conn(const ConnPtr& conn, const std::string& reason) {
+  std::vector<Message> bounces;
+  {
+    std::lock_guard lock(mu_);
+    if (conn->state == Conn::State::kEstablished) {
+      ++tcp_stats_.connections_lost;
+    }
+    conn->fd.reset();
+    for (auto& [key, tracked] : conn->awaiting_response) {
+      bounces.push_back(tracked.header);
+    }
+    conn->awaiting_response.clear();
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+    conn->out_offset = 0;
+    conn->hello_in.clear();
+    conn->hello_out.clear();
+    conn->hello_sent = 0;
+    conn->stalled = false;
+    conn->decoder.reset();
+    for (auto it = routes_.begin(); it != routes_.end();) {
+      it = (it->second == conn) ? routes_.erase(it) : std::next(it);
+    }
+    if (conn->outbound) {
+      conn->state = Conn::State::kIdle;
+      conn->attempts = 0;
+    } else {
+      conn->dead = true;
+    }
+    write_cv_.notify_all();
+  }
+  const std::string text =
+      "connection to " +
+      (conn->outbound ? conn->address.to_string() : std::string("peer")) +
+      " lost (" + reason + ")";
+  for (const auto& h : bounces) bounce_request(h, text);
+}
+
+void TcpTransport::loop_writable(const ConnPtr& conn) {
+  // Handshake bytes go first, before any frame.
+  while (conn->hello_sent < conn->hello_out.size()) {
+    const ssize_t n = ::send(
+        conn->fd.get(), conn->hello_out.data() + conn->hello_sent,
+        conn->hello_out.size() - conn->hello_sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->hello_sent += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      close_conn(conn, std::string("write: ") + std::strerror(errno));
+      return;
+    }
+  }
+  if (conn->state != Conn::State::kEstablished) return;
+
+  // Swap the queue out and run the send() syscalls without mu_ — kernel
+  // buffer copies must not serialize producers on other connections.
+  // Frames queued meanwhile land behind the leftovers we re-insert, so
+  // order is preserved; outbox_bytes stays high until re-accounting,
+  // which only errs on the side of backpressure.
+  std::deque<Buffer> batch;
+  std::size_t offset = 0;
+  {
+    std::lock_guard lock(mu_);
+    batch.swap(conn->outbox);
+    offset = conn->out_offset;
+    conn->out_offset = 0;
+  }
+
+  bool failed = false;
+  std::string fail_reason;
+  std::size_t sent_bytes = 0;
+  while (!batch.empty()) {
+    Buffer& front = batch.front();
+    const ssize_t n = ::send(conn->fd.get(), front.data() + offset,
+                             front.size() - offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      sent_bytes += static_cast<std::size_t>(n);
+      if (offset == front.size()) {
+        batch.pop_front();
+        offset = 0;
+      }
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      failed = true;
+      fail_reason = std::string("write: ") + std::strerror(errno);
+      break;
+    }
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    conn->outbox_bytes -= sent_bytes;
+    conn->out_offset = offset;
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+      conn->outbox.push_front(std::move(*it));
+    }
+    if (conn->outbox_bytes <= config_.write_low_watermark) {
+      write_cv_.notify_all();
+    }
+  }
+  if (failed) close_conn(conn, fail_reason);
+}
+
+void TcpTransport::loop_readable(const ConnPtr& conn) {
+  std::uint8_t buf[64 * 1024];
+  while (conn->fd.valid()) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n == 0) {
+      close_conn(conn, "closed by peer");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(conn, std::string("read: ") + std::strerror(errno));
+      return;
+    }
+    {
+      std::lock_guard lock(mu_);
+      tcp_stats_.bytes_received += static_cast<std::uint64_t>(n);
+    }
+    ByteView data{buf, static_cast<std::size_t>(n)};
+
+    // Finish the handshake before framing begins.
+    if (conn->state == Conn::State::kHello ||
+        conn->state == Conn::State::kConnecting) {
+      const std::size_t need = Hello::kWireBytes - conn->hello_in.size();
+      const std::size_t take = std::min(need, data.size());
+      conn->hello_in.insert(conn->hello_in.end(), data.begin(),
+                            data.begin() + static_cast<long>(take));
+      data = data.subspan(take);
+      if (conn->hello_in.size() < Hello::kWireBytes) continue;
+      try {
+        (void)decode_hello(
+            ByteView{conn->hello_in.data(), conn->hello_in.size()});
+      } catch (const FrameError& e) {
+        {
+          std::lock_guard lock(mu_);
+          ++tcp_stats_.protocol_errors;
+        }
+        close_conn(conn, e.what());
+        return;
+      }
+      std::lock_guard lock(mu_);
+      conn->state = Conn::State::kEstablished;
+      conn->attempts = 0;
+      ++tcp_stats_.connections_established;
+      // Flushing queued frames + the rest of this read happen below.
+    }
+
+    if (!data.empty()) conn->decoder.feed(data);
+    try {
+      while (auto m = conn->decoder.next()) {
+        loop_dispatch(conn, std::move(*m));
+        if (!conn->fd.valid()) return;  // dispatch closed it
+      }
+    } catch (const FrameError& e) {
+      {
+        std::lock_guard lock(mu_);
+        ++tcp_stats_.protocol_errors;
+      }
+      close_conn(conn, e.what());
+      return;
+    }
+  }
+}
+
+void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
+  const Message header = header_of(m);
+  bool local = false;
+  {
+    std::lock_guard lock(mu_);
+    ++tcp_stats_.frames_received;
+    // Kind counters cover traffic both ways (messages_sent/bytes_sent
+    // stay send-only): a client's `responses` is what its fleet answered.
+    switch (m.kind) {
+      case MessageKind::kRequest:
+        ++stats_.requests;
+        break;
+      case MessageKind::kResponse:
+        ++stats_.responses;
+        break;
+      case MessageKind::kError:
+        ++stats_.errors;
+        break;
+    }
+    if (m.kind != MessageKind::kRequest) {
+      // The response's destination is the endpoint that issued the call.
+      conn->awaiting_response.erase({m.dst, m.correlation_id});
+    }
+    // Learn the return route for the peer's endpoint (how responses to a
+    // remote client find their way back out).
+    if (m.src != 0 && endpoints_.count(m.src) == 0) {
+      routes_[m.src] = conn;
+    }
+    local = endpoints_.count(m.dst) > 0;
+  }
+  if (local && deliver_local(std::move(m))) return;
+
+  // Unknown destination: refuse requests over the wire (the remote
+  // caller's RPC fails fast), drop stray responses.
+  std::lock_guard lock(mu_);
+  ++stats_.dropped;
+  if (header.kind != MessageKind::kRequest) return;
+  Message bounce = Message::error_to(
+      header, "transport: no endpoint " + std::to_string(header.dst));
+  Buffer frame = encode_frame(bounce);
+  conn->outbox_bytes += frame.size();
+  conn->outbox.push_back(std::move(frame));
+  ++stats_.errors;
+}
+
+}  // namespace sigma::net

@@ -1,0 +1,240 @@
+// TCP implementation of net::Transport: real sockets between OS
+// processes, same Message semantics as the loopback.
+//
+// One event-loop thread owns every file descriptor (listener, wake pipe,
+// connections) and multiplexes them with poll(). Other threads interact
+// only through the mutex-guarded queues: send() frames the message into
+// the target connection's write queue and pokes the wake pipe; delivery
+// of received messages to local endpoint handlers happens on the loop
+// thread (handlers enqueue, as with the loopback).
+//
+// Per-peer connection state machine (outbound connections are dialed
+// lazily, on the first send toward that peer's address):
+//
+//   kIdle -> kConnecting -> kHello -> kEstablished
+//     ^          |  connect refused/timed out: retry with exponential
+//     |          v  backoff up to connect_attempts, then fail
+//     +------ kBackoff
+//
+// Failure semantics mirror the loopback's connection-refusal bounce: when
+// a request cannot be delivered — no route, connect attempts exhausted,
+// or the connection drops while the request is queued or awaiting its
+// response — the transport synthesizes an error response to the local
+// requester, so an RpcEndpoint call fails fast instead of burning its
+// full timeout. (Each connection tracks locally-originated requests by
+// correlation id until their response arrives.)
+//
+// Addressing: local endpoints get sequential ids from endpoint_base —
+// node daemons use low well-known ids (kServiceEndpointBase + i), clients
+// high ones (kClientEndpointBase) so the two ranges never collide. Remote
+// endpoints are resolved through the static peer map (endpoint id ->
+// host:port, for clients dialing node services) or through learned routes
+// (a server answers a client endpoint over the connection that carried
+// its request).
+//
+// Backpressure: each connection's write queue is capped; send() from a
+// non-loop thread blocks once the queue passes the high watermark and
+// resumes below the low watermark — a slow or stalled peer throttles its
+// producers instead of ballooning memory.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/tcp/frame.h"
+#include "net/tcp/socket.h"
+#include "net/transport.h"
+
+namespace sigma::net {
+
+struct TcpTransportConfig {
+  /// Bind + listen when set (node daemons). Client transports leave it
+  /// empty and only dial out.
+  std::optional<TcpAddress> listen;
+
+  /// Static peer map: which remote endpoint ids live at which address.
+  /// Multiple endpoints may share one address (a daemon hosting several
+  /// node services); they share one connection.
+  std::unordered_map<EndpointId, TcpAddress> remote_endpoints;
+
+  /// First id handed out by register_endpoint().
+  EndpointId endpoint_base = kClientEndpointBase;
+
+  /// Largest acceptable frame body. Frames above this are a protocol
+  /// error (connection dropped) — bounds memory against corrupt peers.
+  std::size_t max_body_bytes = 64ull << 20;
+
+  /// Write-queue backpressure thresholds, per connection.
+  std::size_t write_high_watermark = 16ull << 20;
+  std::size_t write_low_watermark = 4ull << 20;
+
+  /// How long a producer may stay backpressured on one connection before
+  /// the peer is declared stalled and the connection is failed (queued
+  /// requests bounce as errors). Bounds every send() — a SIGSTOPped or
+  /// wedged peer can slow this transport, never hang it (or its
+  /// teardown).
+  std::uint32_t write_stall_timeout_ms = 10000;
+
+  /// Connect retry policy: attempts, base backoff (doubled per retry),
+  /// backoff cap.
+  std::uint32_t connect_attempts = 4;
+  std::uint32_t connect_backoff_ms = 25;
+  std::uint32_t connect_backoff_max_ms = 1000;
+
+  /// How long an unanswered request stays tracked for bounce-on-
+  /// connection-loss. Callers abandon calls at their own RPC timeout
+  /// without telling the transport, so entries older than this are swept
+  /// (set it above the longest RPC timeout in use; sweeping one early
+  /// only costs the fast-fail bounce, the RPC timeout still fires).
+  std::uint32_t request_track_ttl_ms = 120000;
+};
+
+/// TCP-specific counters on top of NetStats.
+struct TcpTransportStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_established = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t connections_lost = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bounced_requests = 0;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds the listener (when configured) and starts the event loop.
+  /// Throws SocketError if the listen address cannot be bound.
+  explicit TcpTransport(TcpTransportConfig config);
+
+  /// Stops the loop, closes every connection, unblocks senders.
+  ~TcpTransport() override;
+
+  EndpointId register_endpoint(Handler handler) override;
+  void unregister_endpoint(EndpointId id) override;
+  void send(Message&& m) override;
+  NetStats stats() const override;
+
+  TcpTransportStats tcp_stats() const;
+
+  /// Actual listening port (resolves port 0); 0 when not listening.
+  std::uint16_t listen_port() const { return listen_port_; }
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    int active_deliveries = 0;
+  };
+
+  /// One TCP connection (inbound or outbound) and its state machine.
+  struct Conn {
+    enum class State { kIdle, kBackoff, kConnecting, kHello, kEstablished };
+
+    explicit Conn(std::size_t max_body) : decoder(max_body) {}
+
+    State state = State::kIdle;
+    SocketFd fd;
+    bool outbound = false;
+    TcpAddress address;  // dial target (outbound only)
+
+    // Handshake progress.
+    Buffer hello_out;            // our HELLO, written before any frame
+    std::size_t hello_sent = 0;  // bytes of hello_out written
+    Buffer hello_in;             // peer HELLO accumulating
+
+    FrameDecoder decoder;
+
+    // Write queue: frames awaiting the socket; front may be partial.
+    std::deque<Buffer> outbox;
+    std::size_t out_offset = 0;
+    std::size_t outbox_bytes = 0;
+
+    // Locally-originated requests routed over this connection, keyed by
+    // (requesting endpoint, correlation id) — correlation ids are only
+    // unique per RpcEndpoint — until their response arrives; bounced as
+    // error responses if the connection dies first. Entries older than
+    // request_track_ttl_ms are swept (the caller abandoned the call at
+    // its RPC timeout without telling us). Headers only.
+    struct TrackedRequest {
+      Message header;
+      std::chrono::steady_clock::time_point queued_at;
+    };
+    std::map<std::pair<EndpointId, std::uint64_t>, TrackedRequest>
+        awaiting_response;
+
+    // Connect retry state.
+    std::uint32_t attempts = 0;
+    std::chrono::steady_clock::time_point retry_at{};
+
+    /// Set by a producer whose backpressure wait timed out; the loop
+    /// fails the connection (it owns the fd).
+    bool stalled = false;
+
+    bool dead = false;  // inbound conn finished; reap it
+  };
+
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  // ---- Event loop (loop thread only) -------------------------------------
+  void loop();
+  void loop_accept();
+  void loop_dial(const ConnPtr& conn);
+  void loop_connect_ready(const ConnPtr& conn);
+  void loop_readable(const ConnPtr& conn);
+  void loop_writable(const ConnPtr& conn);
+  void loop_dispatch(const ConnPtr& conn, Message&& m);
+  /// Tear down a connection: bounce requests awaiting responses, drop the
+  /// queue, forget learned routes. Outbound conns return to kIdle (a
+  /// later send re-dials); inbound conns are reaped.
+  void close_conn(const ConnPtr& conn, const std::string& reason);
+  /// Connect attempt failed: back off and retry, or give up and bounce.
+  void connect_failed(const ConnPtr& conn, const std::string& reason);
+
+  // ---- Shared helpers ----------------------------------------------------
+  /// Deliver to a local endpoint handler (any thread; takes mu_ itself).
+  bool deliver_local(Message&& m);
+  /// Synthesize the error response for an undeliverable request and hand
+  /// it to the local requester (silently drops if the requester is gone).
+  void bounce_request(const Message& header, const std::string& text);
+  void wake_loop();
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_.get_id();
+  }
+
+  TcpTransportConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;   // unregister_endpoint waits here
+  std::condition_variable write_cv_;  // backpressured senders wait here
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
+  EndpointId next_id_;
+
+  /// Outbound connections by dial address (persist across reconnects).
+  std::map<std::pair<std::string, std::uint16_t>, ConnPtr> outbound_;
+  /// Accepted connections.
+  std::vector<ConnPtr> inbound_;
+  /// Learned routes: remote endpoint id -> connection that carried its
+  /// last message (how a daemon answers client endpoints).
+  std::unordered_map<EndpointId, ConnPtr> routes_;
+
+  NetStats stats_;
+  TcpTransportStats tcp_stats_;
+
+  SocketFd listen_fd_;
+  std::uint16_t listen_port_ = 0;
+  SocketFd wake_read_;
+  SocketFd wake_write_;
+  bool stopping_ = false;
+  std::thread loop_thread_;
+};
+
+}  // namespace sigma::net

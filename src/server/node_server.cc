@@ -1,0 +1,42 @@
+#include "server/node_server.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace sigma::server {
+
+NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
+  if (config_.num_nodes == 0) {
+    throw std::invalid_argument("NodeServer: need at least one node");
+  }
+  net::TcpTransportConfig tcp;
+  tcp.listen = config_.listen;
+  tcp.endpoint_base = config_.first_endpoint;
+  tcp.max_body_bytes = config_.max_body_bytes;
+  transport_ = std::make_unique<net::TcpTransport>(std::move(tcp));
+  config_.listen.port = transport_->listen_port();
+
+  // Two drain lanes per node (writes + probe fast lane) can each occupy
+  // a task, so size for both — with one thread a probe would queue behind
+  // the write drain and the fast lane would be inert.
+  const std::size_t threads =
+      config_.service_threads > 0
+          ? config_.service_threads
+          : std::min<std::size_t>(
+                2 * config_.num_nodes,
+                std::max(2u, std::thread::hardware_concurrency()));
+  pool_ = std::make_unique<ThreadPool>(threads);
+
+  nodes_.reserve(config_.num_nodes);
+  services_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<DedupNode>(static_cast<NodeId>(i), config_.node));
+    services_.push_back(std::make_unique<service::NodeService>(
+        *nodes_.back(), *transport_, *pool_));
+  }
+}
+
+NodeServer::~NodeServer() = default;
+
+}  // namespace sigma::server

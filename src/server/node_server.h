@@ -1,0 +1,70 @@
+// The node daemon's core: one TCP-listening transport hosting one or more
+// deduplication node services. `tools/node_server.cc` wraps this in a CLI
+// binary; tests embed it in-process to drive a real multi-socket fleet
+// from one test body.
+//
+// Endpoint layout is the deployment contract: node i of this daemon is
+// registered at `first_endpoint + i` (default net::kServiceEndpointBase),
+// which is what a client puts in its TransportConfig node map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "net/tcp/tcp_transport.h"
+#include "node/dedup_node.h"
+#include "service/node_service.h"
+
+namespace sigma::server {
+
+struct NodeServerConfig {
+  net::TcpAddress listen{"127.0.0.1", 0};  // port 0 = ephemeral
+  std::size_t num_nodes = 1;
+  net::EndpointId first_endpoint = net::kServiceEndpointBase;
+  /// Service event-loop threads; 0 = two per node (one per drain lane,
+  /// so probes overtake write backlogs), capped at hardware concurrency.
+  std::size_t service_threads = 0;
+  DedupNodeConfig node;
+  std::size_t max_body_bytes = 64ull << 20;
+};
+
+class NodeServer {
+ public:
+  /// Binds the listen address and brings every node service up. Throws
+  /// SocketError when the address cannot be bound.
+  explicit NodeServer(const NodeServerConfig& config);
+  ~NodeServer();
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  /// The actual listening port (resolves an ephemeral bind).
+  std::uint16_t port() const { return transport_->listen_port(); }
+  const net::TcpAddress& listen_address() const { return config_.listen; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  net::EndpointId endpoint(std::size_t i) const {
+    return config_.first_endpoint + static_cast<net::EndpointId>(i);
+  }
+
+  DedupNode& node(std::size_t i) { return *nodes_.at(i); }
+  const service::NodeService& service(std::size_t i) const {
+    return *services_.at(i);
+  }
+
+  net::NetStats net_stats() const { return transport_->stats(); }
+  net::TcpTransportStats tcp_stats() const { return transport_->tcp_stats(); }
+
+ private:
+  NodeServerConfig config_;
+  // Teardown order (reverse of declaration): services unbind first, then
+  // the pool joins, then the transport stops its event loop.
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<DedupNode>> nodes_;
+  std::vector<std::unique_ptr<service::NodeService>> services_;
+};
+
+}  // namespace sigma::server

@@ -29,9 +29,12 @@ std::size_t NodeClient::chunk_match_count(
 }
 
 std::uint64_t NodeClient::stored_bytes() const {
-  const Buffer response =
-      rpc_.call_sync(service_, MessageType::kStoredBytes, Buffer{}, timeout_);
+  const Buffer response = stored_bytes_async().get(timeout_);
   return decode_u64(ByteView{response.data(), response.size()});
+}
+
+net::PendingCall NodeClient::stored_bytes_async() const {
+  return rpc_.call(service_, MessageType::kStoredBytes, Buffer{});
 }
 
 std::vector<bool> NodeClient::test_duplicates(

@@ -35,6 +35,10 @@ class NodeClient : public NodeProbe {
       const std::vector<Fingerprint>& fps) const override;
   std::uint64_t stored_bytes() const override;
 
+  /// Async stored-bytes probe (decode the result with decode_u64) — lets
+  /// a fleet-wide usage snapshot cost one round-trip, not one per node.
+  net::PendingCall stored_bytes_async() const;
+
   // ---- Backup path ------------------------------------------------------
 
   /// Batched duplicate test: which of these chunks does the node hold?

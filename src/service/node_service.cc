@@ -19,46 +19,78 @@ NodeService::NodeService(DedupNode& node, net::Transport& transport,
 
 NodeService::~NodeService() {
   // Stop deliveries (blocks until in-flight enqueues return), then wait
-  // for the drain task to run the inbox dry.
+  // for both lanes' drain tasks to run their inboxes dry.
   transport_.unregister_endpoint(endpoint_);
   inbox_.close();
+  fast_inbox_.close();
   std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [&] { return !draining_ && inbox_.size() == 0; });
+  idle_cv_.wait(lock, [&] {
+    return !draining_ && !fast_draining_ && inbox_.size() == 0 &&
+           fast_inbox_.size() == 0;
+  });
+}
+
+bool NodeService::is_fast_lane(MessageType type) {
+  switch (type) {
+    case MessageType::kResemblanceProbe:
+    case MessageType::kChunkProbe:
+    case MessageType::kDuplicateTest:
+    case MessageType::kReadChunk:
+    case MessageType::kStoredBytes:
+      return true;
+    case MessageType::kWriteSuperChunk:
+    case MessageType::kFlush:
+      return false;
+  }
+  return false;
 }
 
 void NodeService::enqueue(Message&& m) {
-  if (!inbox_.push(std::move(m))) return;  // shutting down
+  const bool fast = m.kind == MessageKind::kRequest && is_fast_lane(m.type);
+  auto& lane = fast ? fast_inbox_ : inbox_;
+  if (!lane.push(std::move(m))) return;  // shutting down
   std::lock_guard lock(mu_);
-  if (!draining_) {
-    draining_ = true;
-    pool_.submit([this] { drain(); });
+  bool& arming = fast ? fast_draining_ : draining_;
+  if (!arming) {
+    arming = true;
+    pool_.submit([this, fast] { drain(fast); });
   }
 }
 
-void NodeService::drain() {
+void NodeService::drain(bool fast) {
+  auto& lane = fast ? fast_inbox_ : inbox_;
   {
     std::lock_guard lock(mu_);
     ++stats_.drain_runs;
+    if (fast) ++stats_.fast_drain_runs;
   }
   while (true) {
-    auto m = inbox_.try_pop();
+    auto m = lane.try_pop();
     if (!m) break;
-    Message response = handle(*m);
+    Message response;
+    {
+      // One request at a time against the node, across both lanes. A
+      // probe waits out at most the write in progress, never the queue.
+      std::lock_guard node_lock(node_mu_);
+      response = handle(*m);
+    }
     {
       std::lock_guard lock(mu_);
       ++stats_.requests_served;
+      if (fast) ++stats_.fast_requests_served;
     }
     transport_.send(std::move(response));
   }
   {
     std::lock_guard lock(mu_);
-    draining_ = false;
+    bool& arming = fast ? fast_draining_ : draining_;
+    arming = false;
     // A message pushed after the final try_pop re-arms here: its enqueue
-    // either saw draining_==true (so nobody armed) or will arm itself.
+    // either saw the flag true (so nobody armed) or will arm itself.
     // Re-arming also covers shutdown, so a closed inbox still drains dry.
-    if (inbox_.size() > 0) {
-      draining_ = true;
-      pool_.submit([this] { drain(); });
+    if (lane.size() > 0) {
+      arming = true;
+      pool_.submit([this, fast] { drain(fast); });
       return;
     }
   }

@@ -2,11 +2,23 @@
 // node's request stream. Transport deliveries enqueue into an MPSC inbox;
 // a drain task on the shared ThreadPool decodes each request, executes it
 // against the DedupNode and sends the response. One drain task runs at a
-// time per service, so every node processes its requests strictly in
-// arrival order — the same serialization a single-threaded socket server
-// would provide — while different nodes run in parallel across the pool.
+// time per lane, so every node processes its requests in arrival order —
+// the same serialization a single-threaded socket server would provide —
+// while different nodes run in parallel across the pool.
 //
-// The drain task is re-armed on demand (scheduled only while the inbox is
+// Two lanes: writes (super-chunk stores, flushes) take the FIFO write
+// inbox; read-only requests — routing probes, duplicate tests, chunk
+// reads — take a probe fast lane with its own drain task, so a probe is
+// answered after at most the one write in progress rather than behind the
+// whole queued write backlog. That recovers same-node pipelining for the
+// payload-mode write path (whose duplicate test is a synchronous RPC
+// between pipelined stores). The reordering is safe: stores only ever add
+// chunks, so a probe that runs early can at worst under-report presence —
+// the client ships a few extra payload bytes and the store path re-checks;
+// present-at-test can never un-store. Both lanes serialize on the node
+// mutex while executing, so DedupNode sees one request at a time.
+//
+// Drain tasks are re-armed on demand (scheduled only while their inbox is
 // non-empty), so a large cluster idles without pinning pool threads.
 #pragma once
 
@@ -26,6 +38,9 @@ struct NodeServiceStats {
   std::uint64_t requests_served = 0;
   std::uint64_t errors_returned = 0;
   std::uint64_t drain_runs = 0;
+  /// Probe-lane share of the above.
+  std::uint64_t fast_requests_served = 0;
+  std::uint64_t fast_drain_runs = 0;
 };
 
 class NodeService {
@@ -48,8 +63,11 @@ class NodeService {
   NodeServiceStats stats() const;
 
  private:
+  /// Read-only operations ride the probe fast lane.
+  static bool is_fast_lane(net::MessageType type);
+
   void enqueue(net::Message&& m);
-  void drain();
+  void drain(bool fast);
   net::Message handle(const net::Message& request);
 
   DedupNode& node_;
@@ -57,10 +75,15 @@ class NodeService {
   ThreadPool& pool_;
   net::EndpointId endpoint_;
 
+  /// Serializes DedupNode access across the two lanes.
+  std::mutex node_mu_;
+
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
-  net::Channel<net::Message> inbox_;
+  net::Channel<net::Message> inbox_;       // writes + flushes, FIFO
+  net::Channel<net::Message> fast_inbox_;  // probes, duplicate tests, reads
   bool draining_ = false;
+  bool fast_draining_ = false;
   NodeServiceStats stats_;
 };
 

@@ -49,6 +49,31 @@ struct ClientRig {
   std::unique_ptr<BackupClient> client;
 };
 
+TEST(BackupClientTest, ParallelHashingMatchesSerial) {
+  // Chunking + fingerprinting sharded across the hash pool must produce
+  // the identical backup — same chunks in the same stream order, so same
+  // routing, placement, transfer accounting and restores.
+  auto run = [&](std::size_t hash_threads) {
+    ClusterConfig cc;
+    cc.num_nodes = 4;
+    cc.scheme = RoutingScheme::kSigma;
+    cc.super_chunk_bytes = 64 * 1024;
+    Cluster cluster(cc);
+    Director director;
+    BackupClientConfig bc;
+    bc.super_chunk_bytes = 64 * 1024;
+    bc.chunking = ChunkingScheme::kCdc;  // content-defined: order-sensitive
+    bc.hash_threads = hash_threads;
+    BackupClient client(bc, cluster, director);
+    const auto summary = client.backup(make_session("s", 77, 5, 150000));
+    const auto report = cluster.report();
+    return std::tuple{summary.chunk_count, summary.super_chunk_count,
+                      summary.transferred_bytes, report.physical_bytes,
+                      report.node_usage};
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
 TEST(BackupClientTest, BackupAccountsLogicalBytes) {
   ClientRig rig;
   const auto session = make_session("s1", 1, 3, 100000);

@@ -1,4 +1,5 @@
-// Transport subsystem: wire codec round trips, channel ordering, loopback
+// Transport subsystem: wire codec round trips and robustness against
+// hostile bytes (TCP makes them reachable), channel ordering, loopback
 // delivery + accounting, RPC correlation under concurrent clients, and
 // timeout handling.
 #include <gtest/gtest.h>
@@ -7,11 +8,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/hash_util.h"
 #include "net/channel.h"
 #include "net/message.h"
 #include "net/rpc.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "service/wire_protocol.h"
 
 namespace sigma::net {
 namespace {
@@ -64,6 +67,106 @@ TEST(WireTest, TrailingBytesDetected) {
   WireReader r(ByteView{buf.data(), buf.size()});
   r.u32();
   EXPECT_THROW(r.expect_done(), WireError);
+}
+
+// --- Wire robustness (hostile bytes) ------------------------------------------
+
+TEST(WireRobustnessTest, TruncationsOfEveryBodyErrorCleanly) {
+  // Take a valid body for each protocol decoder and replay every strict
+  // prefix: each must raise WireError (or, for prefixes that happen to be
+  // self-consistent, decode) — never crash or over-read.
+  service::WriteRequest req;
+  req.stream = 9;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    req.chunks.push_back({Fingerprint::from_uint64(mix64(i)), 4096});
+  }
+  req.payloads.emplace_back(2, Buffer(512, 0xAB));
+  const Buffer write_body = service::encode_write_request(req);
+
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    fps.push_back(Fingerprint::from_uint64(mix64(i + 100)));
+  }
+  const Buffer fp_body = service::encode_fingerprints(fps);
+
+  for (std::size_t cut = 0; cut < write_body.size(); ++cut) {
+    try {
+      service::decode_write_request(ByteView{write_body.data(), cut});
+    } catch (const WireError&) {
+      // expected for most cuts
+    }
+  }
+  for (std::size_t cut = 0; cut < fp_body.size(); ++cut) {
+    try {
+      service::decode_fingerprints(ByteView{fp_body.data(), cut});
+    } catch (const WireError&) {
+    }
+  }
+}
+
+TEST(WireRobustnessTest, GarbageBytesNeverCrashAnyDecoder) {
+  // Deterministic pseudo-random garbage through every body decoder: the
+  // only acceptable outcomes are a successful decode (the bytes happened
+  // to be valid) or WireError.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Buffer junk(seed * 5 % 97);
+    for (std::size_t i = 0; i < junk.size(); ++i) {
+      junk[i] = static_cast<std::uint8_t>(mix64(seed * 1000 + i));
+    }
+    const ByteView body{junk.data(), junk.size()};
+    try {
+      (void)service::decode_fingerprints(body);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)service::decode_bitmap(body);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)service::decode_u64(body);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)service::decode_write_request(body);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)service::decode_write_result(body);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)service::decode_read_request(body);
+    } catch (const WireError&) {
+    }
+    try {
+      (void)service::decode_read_response(body);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+TEST(WireRobustnessTest, LengthPrefixPastEndRejected) {
+  // A byte-string length prefix pointing past the buffer must throw, not
+  // read out of bounds.
+  WireWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);      // only one does
+  const Buffer buf = w.take();
+  WireReader r(ByteView{buf.data(), buf.size()});
+  EXPECT_THROW(r.bytes(), WireError);
+}
+
+TEST(WireRobustnessTest, NestedPayloadCountValidatedAgainstBody) {
+  // A write request whose payload count is huge but whose body is tiny:
+  // the count check must fire before any allocation is attempted.
+  WireWriter w;
+  w.u32(0);         // stream
+  w.u32(0);         // zero chunks
+  w.u32(0xFFFFFF);  // absurd payload count, no bytes behind it
+  const Buffer body = w.take();
+  EXPECT_THROW(
+      service::decode_write_request(ByteView{body.data(), body.size()}),
+      WireError);
 }
 
 // --- Channel ------------------------------------------------------------------

@@ -1,0 +1,110 @@
+// Standalone deduplication node daemon: hosts N DedupNode services behind
+// a TCP listener, so a backup fleet spans OS processes.
+//
+//   $ node_server --port 7001 --nodes 2
+//   READY port=7001 endpoints=100..101 nodes=2
+//
+// The READY line is machine-parseable (scripts wait for it, and --port 0
+// reports the ephemeral port actually bound). The daemon serves until
+// SIGINT/SIGTERM, then tears down cleanly: services drain their inboxes,
+// open containers stay as they were (clients flush explicitly).
+//
+// Point a client at a fleet with a node map, one entry per hosted node:
+//   transport_cluster --tcp 127.0.0.1:7001:100,127.0.0.1:7001:101
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <semaphore>
+#include <string>
+
+#include "server/node_server.h"
+
+namespace {
+
+std::binary_semaphore g_shutdown{0};
+
+void handle_signal(int) { g_shutdown.release(); }
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "node_server: " << error << "\n";
+  std::cerr << "usage: node_server [--host H] [--port P] [--nodes N]\n"
+            << "                   [--first-endpoint E] [--service-threads T]\n"
+            << "                   [--container-mb MB] [--approximate]\n"
+            << "  --host H             listen address (default 127.0.0.1)\n"
+            << "  --port P             listen port; 0 picks one (default 0)\n"
+            << "  --nodes N            dedup nodes to host (default 1)\n"
+            << "  --first-endpoint E   endpoint id of node 0 (default "
+            << sigma::net::kServiceEndpointBase << ")\n"
+            << "  --service-threads T  event-loop threads (default: 2 per "
+               "node)\n"
+            << "  --container-mb MB    container capacity (default 4)\n"
+            << "  --approximate        similarity-index-only dedup (Fig. 5b)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sigma;
+
+  server::NodeServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    auto number = [&](unsigned long max) -> unsigned long {
+      try {
+        return net::parse_number(value(), max, "value for " + arg);
+      } catch (const net::SocketError& e) {
+        usage(e.what());
+      }
+    };
+    if (arg == "--host") {
+      config.listen.host = value();
+    } else if (arg == "--port") {
+      config.listen.port = static_cast<std::uint16_t>(number(65535));
+    } else if (arg == "--nodes") {
+      config.num_nodes = number(4096);
+    } else if (arg == "--first-endpoint") {
+      config.first_endpoint =
+          static_cast<net::EndpointId>(number(0xFFFFFFFFul));
+    } else if (arg == "--service-threads") {
+      config.service_threads = number(1024);
+    } else if (arg == "--container-mb") {
+      config.node.container_capacity_bytes = number(1ul << 20) << 20;
+    } else if (arg == "--approximate") {
+      config.node.use_disk_index = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage("unknown option " + arg);
+    }
+  }
+
+  try {
+    server::NodeServer server(config);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "READY port=" << server.port() << " endpoints="
+              << server.endpoint(0) << ".."
+              << server.endpoint(server.num_nodes() - 1)
+              << " nodes=" << server.num_nodes() << std::endl;
+
+    g_shutdown.acquire();  // serve until SIGINT/SIGTERM
+
+    std::uint64_t served = 0;
+    for (std::size_t i = 0; i < server.num_nodes(); ++i) {
+      served += server.service(i).stats().requests_served;
+    }
+    std::cerr << "node_server: shutting down (" << served
+              << " requests served)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "node_server: " << e.what() << "\n";
+    return 1;
+  }
+}
