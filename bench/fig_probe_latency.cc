@@ -1,0 +1,166 @@
+// Probe plane: per-super-chunk routing-decision latency, sequential
+// per-node probing vs the batched scatter-gather round, for the two
+// probing schemes (Sigma and EMC stateful).
+//
+// Sequential probing issues one blocking call per node per decision —
+// over a transport that is O(candidates) network round-trips before a
+// single super-chunk can be routed. The batched probe plane puts every
+// probe of the decision in flight at once (one fused match+usage RPC per
+// candidate, a usage RPC per remaining node) and drains them together:
+// ~1 round-trip per decision regardless of cluster width.
+//
+// Default sweep: direct mode (in-thread loop vs thread-pool fan-out) and
+// the loopback message transport (blocking RPCs vs batched pending
+// calls). With
+//   bench_fig_probe_latency --tcp host:port[:endpoint],...
+// it instead measures against node_server daemons over real sockets,
+// where the sequential path pays its round-trips on a real network stack.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/tcp/socket.h"
+
+namespace {
+
+using namespace sigma;
+namespace bench = sigma::bench;
+
+/// The routing units of one trace, cut exactly as the cluster cuts them.
+std::vector<std::vector<ChunkRecord>> super_chunk_units(
+    const Dataset& dataset, std::uint64_t super_chunk_bytes) {
+  std::vector<std::vector<ChunkRecord>> units;
+  SuperChunkBuilder builder(super_chunk_bytes);
+  for (const auto& backup : dataset.backups) {
+    for (const auto& file : backup.files) {
+      for (const auto& chunk : file.chunks) {
+        if (builder.add(chunk)) units.push_back(builder.take().chunks);
+      }
+    }
+    SuperChunk tail = builder.flush();
+    if (!tail.chunks.empty()) units.push_back(std::move(tail.chunks));
+  }
+  return units;
+}
+
+struct Measurement {
+  double mean_us = 0.0;
+  std::uint64_t decisions = 0;
+};
+
+/// Mean routing-decision latency of `scheme` against an already-populated
+/// cluster's probe plane (probes are read-only, so runs are repeatable).
+Measurement measure(Cluster& cluster, RoutingScheme scheme,
+                    const std::vector<std::vector<ChunkRecord>>& units) {
+  const auto router = make_router(scheme, cluster.config().router);
+  RouteContext ctx;
+  Stopwatch timer;
+  for (const auto& unit : units) {
+    (void)router->route(unit, cluster.probe_set(), ctx);
+  }
+  Measurement m;
+  m.decisions = units.size();
+  m.mean_us = timer.seconds() * 1e6 / static_cast<double>(units.size());
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::bench_scale();
+
+  std::vector<net::TcpNodeAddress> tcp_nodes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tcp" && i + 1 < argc) {
+      try {
+        tcp_nodes =
+            net::parse_tcp_nodes(argv[++i], net::kServiceEndpointBase);
+      } catch (const std::exception& e) {
+        std::cerr << "bench_fig_probe_latency: " << e.what() << "\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: bench_fig_probe_latency "
+                << "[--tcp host:port[:endpoint],...]\n";
+      return 2;
+    }
+  }
+  const bool over_tcp = !tcp_nodes.empty();
+
+  bench::print_header(
+      "Probe plane: routing-decision latency, sequential vs batched",
+      over_tcp ? "scatter-gather probes vs one blocking RPC per node, "
+                 "against TCP node_server daemons"
+               : "scatter-gather probes vs one blocking call per node, "
+                 "direct and loopback transports (8 nodes)");
+
+  LinuxWorkloadConfig wl = LinuxWorkloadConfig::scaled(0.2 * scale);
+  wl.versions = 2;
+  LinuxGenerator gen(wl);
+  const auto chunker = make_chunker(ChunkingScheme::kStatic, 4096);
+  const Dataset trace =
+      materialize_dataset("linux-probe-bench", gen.content(), *chunker);
+  constexpr std::uint64_t kSuperChunkBytes = 256 * 1024;
+  const auto units = super_chunk_units(trace, kSuperChunkBytes);
+
+  const std::vector<RoutingScheme> schemes{RoutingScheme::kSigma,
+                                           RoutingScheme::kStateful};
+
+  TablePrinter table({"transport", "scheme", "probing", "decisions",
+                      "mean us/decision", "speedup"});
+
+  auto make_config = [&](TransportMode mode, bool batched) {
+    ClusterConfig cfg;
+    cfg.super_chunk_bytes = kSuperChunkBytes;
+    cfg.transport.batched_probes = batched;
+    cfg.transport.mode = mode;
+    if (over_tcp) {
+      cfg.num_nodes = tcp_nodes.size();
+      cfg.transport.tcp_nodes = tcp_nodes;
+    } else {
+      cfg.num_nodes = 8;
+      if (mode == TransportMode::kDirect && batched) {
+        cfg.transport.probe_threads = 4;
+      }
+    }
+    return cfg;
+  };
+
+  auto sweep = [&](TransportMode mode, const std::string& label) {
+    for (RoutingScheme scheme : schemes) {
+      double seq_us = 0.0;
+      for (const bool batched : {false, true}) {
+        ClusterConfig cfg = make_config(mode, batched);
+        cfg.scheme = scheme;
+        Cluster cluster(cfg);
+        // Populate node state so probes hit non-trivial indexes. Remote
+        // daemons keep state across clusters: populate once, on the
+        // sequential pass.
+        if (!over_tcp || !batched) cluster.backup_dataset(trace);
+        const Measurement m = measure(cluster, scheme, units);
+        if (!batched) seq_us = m.mean_us;
+        table.add_row(
+            {label, to_string(scheme), batched ? "batched" : "sequential",
+             std::to_string(m.decisions), TablePrinter::fmt(m.mean_us, 1),
+             batched ? TablePrinter::fmt(seq_us / m.mean_us, 2) + "x"
+                     : "1.00x"});
+      }
+    }
+  };
+
+  if (over_tcp) {
+    sweep(TransportMode::kTcp, "tcp");
+  } else {
+    sweep(TransportMode::kDirect, "direct");
+    sweep(TransportMode::kLoopback, "loopback");
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(sequential = one blocking probe per node per decision; "
+               "batched = the probe plane's single scatter-gather round "
+               "— over a transport, ~1 round-trip per decision instead of "
+               "O(nodes))\n";
+  return 0;
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verify: full build + test suite, exactly as CI runs it, plus the
-# multi-process TCP smoke test (node_server daemons + client over sockets).
+# multi-process TCP smoke test (node_server daemons + client over sockets)
+# and an ASan+UBSan pass over the test suite (set SIGMA_SKIP_SANITIZERS=1
+# to skip it for a quick local run).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -9,3 +11,12 @@ cmake --build build -j
 ctest --output-on-failure -j --test-dir build
 
 scripts/tcp_smoke.sh build
+
+if [[ "${SIGMA_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  # The transport/service stack is poll loops, pending-call handoffs and
+  # shared write queues — exactly where the sanitizers earn their keep.
+  cmake -B build-asan -S . -DSIGMA_SANITIZE=address,undefined \
+      -DSIGMA_BUILD_BENCH=OFF -DSIGMA_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j
+  ctest --output-on-failure -j --test-dir build-asan
+fi

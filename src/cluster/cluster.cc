@@ -10,8 +10,10 @@
 #include "common/thread_pool.h"
 #include "net/rpc.h"
 #include "net/tcp/tcp_transport.h"
+#include "node/probe_set.h"
 #include "service/node_client.h"
 #include "service/node_service.h"
+#include "service/probe_set.h"
 #include "service/wire_protocol.h"
 
 namespace sigma {
@@ -210,6 +212,25 @@ Cluster::Cluster(const ClusterConfig& config)
   } else {
     for (const auto& n : nodes_) views_.push_back(n.get());
   }
+  // The probe plane the routers gather through. Message modes batch the
+  // round as concurrent pending calls (one fused probe per candidate);
+  // the sequential fallback and direct mode go through the per-node
+  // views — optionally fanned across a dedicated pool in direct mode.
+  if (runtime_ && config_.transport.batched_probes) {
+    std::vector<const service::NodeClient*> stubs;
+    stubs.reserve(runtime_->clients.size());
+    for (const auto& c : runtime_->clients) stubs.push_back(c.get());
+    probe_plane_ = std::make_unique<service::ClientProbeSet>(
+        std::move(stubs), runtime_->timeout);
+  } else {
+    if (!runtime_ && config_.transport.batched_probes &&
+        config_.transport.probe_threads > 0) {
+      probe_pool_ =
+          std::make_unique<ThreadPool>(config_.transport.probe_threads);
+    }
+    probe_plane_ =
+        std::make_unique<DirectProbeSet>(views_, probe_pool_.get());
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -217,7 +238,7 @@ Cluster::~Cluster() = default;
 NodeId Cluster::route_unit(const std::vector<ChunkRecord>& unit,
                            RouteContext& ctx) {
   if (runtime_) runtime_->wait_capacity(runtime_->pipeline_depth);
-  return router_->route(unit, views_, ctx);
+  return router_->route(unit, *probe_plane_, ctx);
 }
 
 void Cluster::submit_write(NodeId target, StreamId stream,

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "net/tcp/socket.h"
 #include "net/transport.h"
 #include "node/dedup_node.h"
@@ -56,6 +57,16 @@ struct TransportConfig {
   std::size_t service_threads = 0;
   /// Per-RPC timeout, milliseconds.
   std::uint32_t rpc_timeout_ms = 30000;
+  /// Scatter-gather probe plane: issue each routing decision's probe
+  /// round as one batch — all RPCs in flight together in message modes
+  /// (~1 round-trip per decision instead of one per node). Disable to
+  /// fall back to the sequential one-blocking-call-per-node path (kept
+  /// for equivalence testing; reports are bit-identical at depth 1).
+  bool batched_probes = true;
+  /// Direct mode only: fan the batched probe round across this many
+  /// dedicated threads (0 = run it sequentially in the routing thread).
+  /// Message modes ignore this — their batching is the async RPC round.
+  std::size_t probe_threads = 0;
   /// kTcp only: the node map — one entry per remote node service, in node
   /// id order (cluster node i is tcp_nodes[i]). num_nodes must match
   /// tcp_nodes.size(). See net::parse_tcp_nodes for "host:port[:endpoint]"
@@ -127,6 +138,12 @@ class Cluster {
   /// True when requests flow over the message transport.
   bool transport_backed() const { return runtime_ != nullptr; }
 
+  /// The scatter-gather probe plane routing decisions run against: the
+  /// nodes themselves in direct mode, RPC stubs in message mode (batched
+  /// pending calls, or sequential per-node calls when batched_probes is
+  /// off).
+  const ProbeSet& probe_set() const { return *probe_plane_; }
+
   /// Wire-level traffic counters (all zero in direct mode). Distinct from
   /// MessageStats, which counts the paper's fingerprint-lookup metric.
   net::NetStats net_stats() const;
@@ -175,9 +192,15 @@ class Cluster {
   /// null in direct mode. Defined in cluster.cc.
   struct TransportRuntime;
   std::unique_ptr<TransportRuntime> runtime_;
-  /// Probe views the routers consult: the nodes themselves in direct
-  /// mode, RPC stubs in message mode. Fixed at construction.
+  /// Per-node probe views: the nodes themselves in direct mode, RPC
+  /// stubs in message mode. Fixed at construction.
   std::vector<const NodeProbe*> views_;
+  /// Direct-mode probe fan-out pool (probe_threads > 0 only).
+  std::unique_ptr<ThreadPool> probe_pool_;
+  /// The scatter-gather plane route_unit() hands the router — built over
+  /// the client stubs (batched pending calls) in message mode, over
+  /// views_ otherwise. Fixed at construction.
+  std::unique_ptr<ProbeSet> probe_plane_;
 
   // Extreme Binning bin store: per node, representative-fingerprint ->
   // the bin's chunk fingerprints. Approximate dedup happens against the

@@ -18,6 +18,8 @@ const char* to_string(MessageType type) {
       return "StoredBytes";
     case MessageType::kFlush:
       return "Flush";
+    case MessageType::kRoutingProbe:
+      return "RoutingProbe";
   }
   return "?";
 }

@@ -26,13 +26,16 @@ enum class MessageType : std::uint8_t {
   kReadChunk,         // fingerprint -> payload (restore path)
   kStoredBytes,       // () -> physical bytes used (balance discount)
   kFlush,             // () -> () : seal open containers
+  kRoutingProbe,      // kind + fingerprints -> {match count, stored bytes}
+                      // (fused scatter-gather probe: one message per
+                      // candidate per routing decision)
 };
 
 /// Highest valid op byte — the TCP frame decoder rejects anything above
 /// it as a protocol error. Keep in sync when appending operations, or
 /// remote peers will drop the new op's frames.
 inline constexpr std::uint8_t kMaxMessageType =
-    static_cast<std::uint8_t>(MessageType::kFlush);
+    static_cast<std::uint8_t>(MessageType::kRoutingProbe);
 
 const char* to_string(MessageType type);
 

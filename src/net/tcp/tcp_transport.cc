@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace sigma::net {
 namespace {
 
@@ -689,6 +691,8 @@ void TcpTransport::loop_readable(const ConnPtr& conn) {
 void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
   const Message header = header_of(m);
   bool local = false;
+  bool conflict = false;
+  bool takeover = false;
   {
     std::lock_guard lock(mu_);
     ++tcp_stats_.frames_received;
@@ -710,11 +714,58 @@ void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
       conn->awaiting_response.erase({m.dst, m.correlation_id});
     }
     // Learn the return route for the peer's endpoint (how responses to a
-    // remote client find their way back out).
+    // remote client find their way back out). The first registration
+    // holds while its connection stays active: a *different* connection
+    // claiming an already-routed endpoint is a collision (two peers
+    // sharing an endpoint id), and silently re-pointing the route would
+    // leak one peer's responses to the other — the collider is refused
+    // deterministically instead. Once the owning connection has been
+    // silent past route_stale_ms (a drop this side never observed —
+    // close_conn erases routes on the drops it does observe), the new
+    // claimant takes the route over, so a re-dialing peer is locked out
+    // for at most the stale window.
+    conn->last_frame_at = std::chrono::steady_clock::now();
     if (m.src != 0 && endpoints_.count(m.src) == 0) {
-      routes_[m.src] = conn;
+      const auto [rit, inserted] = routes_.try_emplace(m.src, conn);
+      if (!inserted && rit->second != conn) {
+        const auto stale_cutoff =
+            conn->last_frame_at -
+            std::chrono::milliseconds(config_.route_stale_ms);
+        if (rit->second->last_frame_at <= stale_cutoff) {
+          ++tcp_stats_.route_takeovers;
+          rit->second = conn;
+          takeover = true;
+        } else {
+          ++tcp_stats_.route_conflicts;
+          conflict = true;
+        }
+      }
     }
     local = endpoints_.count(m.dst) > 0;
+  }
+  if (takeover) {
+    SIGMA_LOG_WARN << "tcp: endpoint " << m.src
+                   << " return route taken over by a new connection (old "
+                      "one silent past the stale window)";
+  }
+  if (conflict) {
+    SIGMA_LOG(LogLevel::kError)
+        << "tcp: endpoint " << m.src
+        << " re-registered by a different peer connection while its route "
+           "is active — refusing the message (endpoint-id collision; give "
+           "each client a distinct endpoint base)";
+    std::lock_guard lock(mu_);
+    ++stats_.dropped;
+    if (header.kind != MessageKind::kRequest) return;
+    Message bounce = Message::error_to(
+        header, "transport: endpoint " + std::to_string(header.src) +
+                    " already routed to another peer (endpoint-id "
+                    "collision)");
+    Buffer frame = encode_frame(bounce);
+    conn->outbox_bytes += frame.size();
+    conn->outbox.push_back(std::move(frame));
+    ++stats_.errors;
+    return;
   }
   if (local && deliver_local(std::move(m))) return;
 

@@ -96,6 +96,14 @@ struct TcpTransportConfig {
   /// (set it above the longest RPC timeout in use; sweeping one early
   /// only costs the fast-fail bounce, the RPC timeout still fires).
   std::uint32_t request_track_ttl_ms = 120000;
+
+  /// Learned-return-route takeover threshold: a route whose owning
+  /// connection has received nothing for this long is considered stale
+  /// and may be claimed by a different connection presenting the same
+  /// endpoint id (a peer re-dialing after an asymmetric connection drop
+  /// the server never saw). While the owner is fresher than this, a
+  /// different claimant is a collision and is refused.
+  std::uint32_t route_stale_ms = 15000;
 };
 
 /// TCP-specific counters on top of NetStats.
@@ -108,6 +116,14 @@ struct TcpTransportStats {
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t bounced_requests = 0;
+  /// Messages refused because their source endpoint's return route is
+  /// already owned by a different, recently-active connection — two
+  /// peers sharing an endpoint id (e.g. clients started with the same
+  /// endpoint base).
+  std::uint64_t route_conflicts = 0;
+  /// Stale learned routes re-pointed to a new connection (peer re-dialed
+  /// after a connection drop this side never observed).
+  std::uint64_t route_takeovers = 0;
 };
 
 class TcpTransport final : public Transport {
@@ -174,6 +190,10 @@ class TcpTransport final : public Transport {
     // Connect retry state.
     std::uint32_t attempts = 0;
     std::chrono::steady_clock::time_point retry_at{};
+
+    /// When this connection last received a frame — the freshness that
+    /// defends its learned routes against takeover.
+    std::chrono::steady_clock::time_point last_frame_at{};
 
     /// Set by a producer whose backpressure wait timed out; the loop
     /// fails the connection (it owns the fd).

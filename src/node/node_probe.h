@@ -2,15 +2,24 @@
 // that data-routing schemes query before placing a routing unit (paper
 // Algorithm 1 step 2 and the EMC stateful sampled probe).
 //
-// Routers program against this interface instead of concrete nodes so the
-// same routing code runs in both deployment modes: the direct-call
+// Routers program against these interfaces instead of concrete nodes so
+// the same routing code runs in both deployment modes: the direct-call
 // simulator (DedupNode implements NodeProbe in-process) and the
 // message-passing service stack (service::NodeClient implements it with
 // RPCs over a Transport). Probe *message* accounting stays in the routing
 // layer (RouteContext), so Fig. 7's metric is identical in both modes.
+//
+// NodeProbe is the per-node query surface; ProbeSet is the scatter-gather
+// probe plane on top of it: one gather() issues every per-node query of a
+// routing decision at once, so a transport-backed implementation can put
+// all probes in flight together (~1 round-trip per decision) instead of
+// paying one blocking round-trip per node.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "chunking/super_chunk.h"
@@ -34,6 +43,56 @@ class NodeProbe {
 
   /// Physical capacity used (for the load-balance discount).
   virtual std::uint64_t stored_bytes() const = 0;
+};
+
+/// Which per-node index a scatter-gather probe round queries.
+enum class ProbeKind : std::uint8_t {
+  kResemblance,  // handprint vs similarity index (Sigma, Algorithm 1)
+  kChunkMatch,   // sampled fingerprints vs chunk index (EMC stateful)
+};
+
+/// Everything one routing decision learns from the fleet: per-candidate
+/// match counts plus every node's storage usage (the balance-discount
+/// input, Algorithm 1 step 3).
+struct ProbeRound {
+  /// Match counts, parallel to the `candidates` passed to gather().
+  std::vector<std::size_t> matches;
+  /// stored_bytes for every node in the cluster, indexed by NodeId.
+  std::vector<std::uint64_t> usage;
+};
+
+/// Scatter-gather probe plane over a fleet of nodes. Implementations:
+/// DirectProbeSet (in-process virtual calls, optionally fanned across a
+/// ThreadPool) and service::ClientProbeSet (all RPCs issued as pending
+/// calls up front and drained together — one round-trip per decision over
+/// loopback or TCP).
+class ProbeSet {
+ public:
+  virtual ~ProbeSet() = default;
+
+  /// Number of nodes behind this probe plane.
+  virtual std::size_t size() const = 0;
+
+  /// One scatter-gather round: ask each node in `candidates` for its
+  /// match count against `fps` (`kind` selects the index) and every node
+  /// for its stored bytes. Candidate ids must be < size(); throws
+  /// std::out_of_range otherwise.
+  virtual ProbeRound gather(ProbeKind kind,
+                            std::span<const NodeId> candidates,
+                            const std::vector<Fingerprint>& fps) const = 0;
+
+ protected:
+  /// Enforces the candidate-id precondition; implementations call this
+  /// at the top of gather().
+  void validate_candidates(std::span<const NodeId> candidates) const {
+    for (NodeId c : candidates) {
+      if (c >= size()) {
+        throw std::out_of_range("ProbeSet: candidate node " +
+                                std::to_string(c) + " >= cluster size " +
+                                std::to_string(size()));
+      }
+    }
+  }
 };
 
 }  // namespace sigma

@@ -1,0 +1,35 @@
+// In-process implementation of the scatter-gather probe plane: answers a
+// probe round by calling the nodes' NodeProbe virtuals directly. With a
+// ThreadPool the per-node queries fan out across worker threads (useful
+// when the probe views are themselves RPC stubs, or on very wide
+// clusters); without one they run sequentially in the caller's thread —
+// the exact call sequence of the pre-probe-plane routers, kept as the
+// equivalence baseline.
+#pragma once
+
+#include <span>
+
+#include "common/thread_pool.h"
+#include "node/node_probe.h"
+
+namespace sigma {
+
+class DirectProbeSet final : public ProbeSet {
+ public:
+  /// `nodes` (and `pool`, when given) must outlive the set. The span is
+  /// referenced, not copied.
+  explicit DirectProbeSet(std::span<const NodeProbe* const> nodes,
+                          ThreadPool* pool = nullptr)
+      : nodes_(nodes), pool_(pool) {}
+
+  std::size_t size() const override { return nodes_.size(); }
+
+  ProbeRound gather(ProbeKind kind, std::span<const NodeId> candidates,
+                    const std::vector<Fingerprint>& fps) const override;
+
+ private:
+  std::span<const NodeProbe* const> nodes_;
+  ThreadPool* pool_;
+};
+
+}  // namespace sigma

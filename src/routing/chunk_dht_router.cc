@@ -5,14 +5,15 @@
 namespace sigma {
 
 NodeId ChunkDhtRouter::route(const std::vector<ChunkRecord>& unit,
-                             std::span<const NodeProbe* const> nodes,
-                             RouteContext& ctx) {
-  (void)ctx;  // DHT placement: no pre-routing messages
-  if (nodes.empty()) throw std::invalid_argument("ChunkDhtRouter: no nodes");
+                             const ProbeSet& probes, RouteContext& ctx) {
+  (void)ctx;  // DHT placement: no pre-routing messages, no probe round
+  if (probes.size() == 0) {
+    throw std::invalid_argument("ChunkDhtRouter: no nodes");
+  }
   if (unit.empty()) return 0;
   // Units are single chunks; a multi-chunk unit is placed by its first
   // chunk (the cluster layer splits per-chunk before calling).
-  return static_cast<NodeId>(unit.front().fp.prefix64() % nodes.size());
+  return static_cast<NodeId>(unit.front().fp.prefix64() % probes.size());
 }
 
 }  // namespace sigma

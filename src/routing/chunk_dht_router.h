@@ -17,8 +17,8 @@ class ChunkDhtRouter final : public Router {
     return RoutingGranularity::kChunk;
   }
 
-  NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const NodeProbe* const> nodes,
+  using Router::route;
+  NodeId route(const std::vector<ChunkRecord>& unit, const ProbeSet& probes,
                RouteContext& ctx) override;
 };
 

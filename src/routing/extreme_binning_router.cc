@@ -13,14 +13,13 @@ Fingerprint ExtremeBinningRouter::representative(
 }
 
 NodeId ExtremeBinningRouter::route(const std::vector<ChunkRecord>& unit,
-                                   std::span<const NodeProbe* const> nodes,
-                                   RouteContext& ctx) {
-  (void)ctx;  // stateless: no pre-routing messages
-  if (nodes.empty()) {
+                                   const ProbeSet& probes, RouteContext& ctx) {
+  (void)ctx;  // stateless: no pre-routing messages, no probe round
+  if (probes.size() == 0) {
     throw std::invalid_argument("ExtremeBinningRouter: no nodes");
   }
   if (unit.empty()) return 0;
-  return static_cast<NodeId>(representative(unit).prefix64() % nodes.size());
+  return static_cast<NodeId>(representative(unit).prefix64() % probes.size());
 }
 
 }  // namespace sigma

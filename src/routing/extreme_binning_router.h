@@ -20,8 +20,8 @@ class ExtremeBinningRouter final : public Router {
     return RoutingGranularity::kFile;
   }
 
-  NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const NodeProbe* const> nodes,
+  using Router::route;
+  NodeId route(const std::vector<ChunkRecord>& unit, const ProbeSet& probes,
                RouteContext& ctx) override;
 
   /// The representative fingerprint Extreme Binning keys bins with.

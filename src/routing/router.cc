@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "node/probe_set.h"
 #include "routing/chunk_dht_router.h"
 #include "routing/extreme_binning_router.h"
 #include "routing/sigma_router.h"
@@ -62,15 +63,20 @@ double discounted_score(std::size_t resemblance, std::uint64_t node_usage,
   return static_cast<double>(resemblance) / rel;
 }
 
-double average_usage(std::span<const NodeProbe* const> nodes) {
-  if (nodes.empty()) return 0.0;
+double average_usage(std::span<const std::uint64_t> usage) {
+  if (usage.empty()) return 0.0;
   double total = 0.0;
-  for (const NodeProbe* n : nodes) {
-    total += static_cast<double>(n->stored_bytes());
-  }
-  return total / static_cast<double>(nodes.size());
+  for (std::uint64_t u : usage) total += static_cast<double>(u);
+  return total / static_cast<double>(usage.size());
 }
 
 }  // namespace routing_detail
+
+NodeId Router::route(const std::vector<ChunkRecord>& unit,
+                     std::span<const NodeProbe* const> nodes,
+                     RouteContext& ctx) {
+  const DirectProbeSet probes(nodes);
+  return route(unit, probes, ctx);
+}
 
 }  // namespace sigma

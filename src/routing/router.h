@@ -38,11 +38,16 @@ class Router {
   virtual RoutingGranularity granularity() const = 0;
 
   /// Select the target node for `unit` (its chunk records, in stream
-  /// order). `nodes` is the cluster; implementations may probe node state
-  /// (stateful schemes) and must account probe messages in `ctx`.
+  /// order). `probes` is the cluster's scatter-gather probe plane;
+  /// stateful schemes issue their whole probe round through one
+  /// ProbeSet::gather() call and must account probe messages in `ctx`.
   virtual NodeId route(const std::vector<ChunkRecord>& unit,
-                       std::span<const NodeProbe* const> nodes,
-                       RouteContext& ctx) = 0;
+                       const ProbeSet& probes, RouteContext& ctx) = 0;
+
+  /// Convenience adapter: route against bare per-node probe views through
+  /// a sequential DirectProbeSet (tests, tools, one-off callers).
+  NodeId route(const std::vector<ChunkRecord>& unit,
+               std::span<const NodeProbe* const> nodes, RouteContext& ctx);
 };
 
 /// All schemes compared in the paper's evaluation.
@@ -76,8 +81,8 @@ namespace routing_detail {
 double discounted_score(std::size_t resemblance, std::uint64_t node_usage,
                         double average_usage, std::uint64_t epsilon);
 
-/// Cluster-average stored bytes.
-double average_usage(std::span<const NodeProbe* const> nodes);
+/// Cluster-average stored bytes over a probe round's usage vector.
+double average_usage(std::span<const std::uint64_t> usage);
 
 }  // namespace routing_detail
 

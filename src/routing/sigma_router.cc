@@ -12,13 +12,12 @@ SigmaRouter::SigmaRouter(const RouterConfig& config) : config_(config) {
 }
 
 NodeId SigmaRouter::route(const std::vector<ChunkRecord>& unit,
-                          std::span<const NodeProbe* const> nodes,
-                          RouteContext& ctx) {
-  if (nodes.empty()) throw std::invalid_argument("SigmaRouter: no nodes");
+                          const ProbeSet& probes, RouteContext& ctx) {
+  if (probes.size() == 0) throw std::invalid_argument("SigmaRouter: no nodes");
   if (unit.empty()) return 0;
 
   const Handprint handprint = compute_handprint(unit, config_.handprint_size);
-  const std::size_t n = nodes.size();
+  const std::size_t n = probes.size();
 
   // Candidate set: one node per representative fingerprint, deduplicated.
   std::vector<NodeId> candidates;
@@ -33,16 +32,22 @@ NodeId SigmaRouter::route(const std::vector<ChunkRecord>& unit,
   // Each candidate receives the whole handprint: k lookups per candidate.
   ctx.pre_routing_messages += handprint.size() * candidates.size();
 
+  // Algorithm 1 step 2 as one scatter-gather round: every candidate's
+  // resemblance count and every node's usage, all in flight together.
+  const ProbeRound round =
+      probes.gather(ProbeKind::kResemblance, candidates, handprint);
+
   // Step 3+4: discounted-resemblance argmax; ties (notably the all-zero
   // resemblance case for fresh data) break toward the least-loaded
   // candidate, which yields balanced placement of new data.
-  const double avg = routing_detail::average_usage(nodes);
+  const double avg = routing_detail::average_usage(round.usage);
   NodeId best = candidates.front();
   double best_score = -1.0;
   std::uint64_t best_usage = 0;
-  for (NodeId cand : candidates) {
-    const std::size_t r = nodes[cand]->resemblance_count(handprint);
-    const std::uint64_t usage = nodes[cand]->stored_bytes();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId cand = candidates[i];
+    const std::size_t r = round.matches[i];
+    const std::uint64_t usage = round.usage[cand];
     const double score =
         config_.balance_discount
             ? routing_detail::discounted_score(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace sigma {
@@ -14,9 +15,10 @@ StatefulRouter::StatefulRouter(const RouterConfig& config) : config_(config) {
 }
 
 NodeId StatefulRouter::route(const std::vector<ChunkRecord>& unit,
-                             std::span<const NodeProbe* const> nodes,
-                             RouteContext& ctx) {
-  if (nodes.empty()) throw std::invalid_argument("StatefulRouter: no nodes");
+                             const ProbeSet& probes, RouteContext& ctx) {
+  if (probes.size() == 0) {
+    throw std::invalid_argument("StatefulRouter: no nodes");
+  }
   if (unit.empty()) return 0;
 
   // Deterministic sample: the m smallest fingerprints, m = ceil(n * rate).
@@ -30,15 +32,23 @@ NodeId StatefulRouter::route(const std::vector<ChunkRecord>& unit,
   std::vector<Fingerprint> sample_fps(sample.begin(), sample.end());
 
   // 1-to-all probe: every node receives the whole sample.
-  ctx.pre_routing_messages += sample_fps.size() * nodes.size();
+  ctx.pre_routing_messages += sample_fps.size() * probes.size();
 
-  const double avg = routing_detail::average_usage(nodes);
+  // The whole 1-to-all round goes out as one scatter-gather batch.
+  if (all_nodes_.size() != probes.size()) {
+    all_nodes_.resize(probes.size());
+    std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
+  }
+  const ProbeRound round =
+      probes.gather(ProbeKind::kChunkMatch, all_nodes_, sample_fps);
+
+  const double avg = routing_detail::average_usage(round.usage);
   NodeId best = 0;
   double best_score = -1.0;
   std::uint64_t best_usage = 0;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const std::size_t matches = nodes[i]->chunk_match_count(sample_fps);
-    const std::uint64_t usage = nodes[i]->stored_bytes();
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const std::size_t matches = round.matches[i];
+    const std::uint64_t usage = round.usage[i];
     const double score = routing_detail::discounted_score(
         matches, usage, avg, config_.balance_epsilon_bytes);
     if (score > best_score ||

@@ -19,12 +19,15 @@ class StatefulRouter final : public Router {
     return RoutingGranularity::kSuperChunk;
   }
 
-  NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const NodeProbe* const> nodes,
+  using Router::route;
+  NodeId route(const std::vector<ChunkRecord>& unit, const ProbeSet& probes,
                RouteContext& ctx) override;
 
  private:
   RouterConfig config_;
+  /// Cached 0..N-1 candidate list for the 1-to-all round (rebuilt only
+  /// when the cluster size changes).
+  std::vector<NodeId> all_nodes_;
 };
 
 }  // namespace sigma

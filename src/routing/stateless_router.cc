@@ -5,16 +5,17 @@
 namespace sigma {
 
 NodeId StatelessRouter::route(const std::vector<ChunkRecord>& unit,
-                              std::span<const NodeProbe* const> nodes,
-                              RouteContext& ctx) {
-  (void)ctx;  // stateless: no pre-routing messages
-  if (nodes.empty()) throw std::invalid_argument("StatelessRouter: no nodes");
+                              const ProbeSet& probes, RouteContext& ctx) {
+  (void)ctx;  // stateless: no pre-routing messages, no probe round
+  if (probes.size() == 0) {
+    throw std::invalid_argument("StatelessRouter: no nodes");
+  }
   if (unit.empty()) return 0;
 
   // Representative fingerprint = the minimum chunk fingerprint, the same
   // feature Sigma-Dedupe generalizes into a k-wide handprint.
   const Handprint rep = compute_handprint(unit, 1);
-  return static_cast<NodeId>(rep.front().prefix64() % nodes.size());
+  return static_cast<NodeId>(rep.front().prefix64() % probes.size());
 }
 
 }  // namespace sigma

@@ -16,8 +16,8 @@ class StatelessRouter final : public Router {
     return RoutingGranularity::kSuperChunk;
   }
 
-  NodeId route(const std::vector<ChunkRecord>& unit,
-               std::span<const NodeProbe* const> nodes,
+  using Router::route;
+  NodeId route(const std::vector<ChunkRecord>& unit, const ProbeSet& probes,
                RouteContext& ctx) override;
 };
 

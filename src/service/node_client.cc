@@ -37,6 +37,12 @@ net::PendingCall NodeClient::stored_bytes_async() const {
   return rpc_.call(service_, MessageType::kStoredBytes, Buffer{});
 }
 
+net::PendingCall NodeClient::routing_probe_async(
+    ProbeKind kind, const std::vector<Fingerprint>& fps) const {
+  return rpc_.call(service_, MessageType::kRoutingProbe,
+                   encode_routing_probe_request(kind, fps));
+}
+
 std::vector<bool> NodeClient::test_duplicates(
     const std::vector<Fingerprint>& fps) const {
   const Buffer response = rpc_.call_sync(

@@ -39,6 +39,14 @@ class NodeClient : public NodeProbe {
   /// a fleet-wide usage snapshot cost one round-trip, not one per node.
   net::PendingCall stored_bytes_async() const;
 
+  /// Async fused routing probe: match count against the chosen index plus
+  /// the node's stored bytes in one message (decode the result with
+  /// decode_routing_probe_reply). The scatter-gather primitive of the
+  /// probe plane — ClientProbeSet issues one per candidate and drains
+  /// them together.
+  net::PendingCall routing_probe_async(
+      ProbeKind kind, const std::vector<Fingerprint>& fps) const;
+
   // ---- Backup path ------------------------------------------------------
 
   /// Batched duplicate test: which of these chunks does the node hold?

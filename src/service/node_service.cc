@@ -34,6 +34,7 @@ bool NodeService::is_fast_lane(MessageType type) {
   switch (type) {
     case MessageType::kResemblanceProbe:
     case MessageType::kChunkProbe:
+    case MessageType::kRoutingProbe:
     case MessageType::kDuplicateTest:
     case MessageType::kReadChunk:
     case MessageType::kStoredBytes:
@@ -114,6 +115,16 @@ Message NodeService::handle(const Message& request) {
         const auto fps = decode_fingerprints(body);
         return Message::response_to(
             request, encode_u64(node_.chunk_match_count(fps)));
+      }
+      case MessageType::kRoutingProbe: {
+        const auto req = decode_routing_probe_request(body);
+        RoutingProbeReply reply;
+        reply.matches = req.kind == ProbeKind::kResemblance
+                            ? node_.resemblance_count(req.fingerprints)
+                            : node_.chunk_match_count(req.fingerprints);
+        reply.stored_bytes = node_.stored_bytes();
+        return Message::response_to(request,
+                                    encode_routing_probe_reply(reply));
       }
       case MessageType::kDuplicateTest: {
         const auto fps = decode_fingerprints(body);

@@ -1,0 +1,50 @@
+#include "service/probe_set.h"
+
+#include "net/rpc.h"
+#include "service/wire_protocol.h"
+
+namespace sigma::service {
+
+ProbeRound ClientProbeSet::gather(ProbeKind kind,
+                                  std::span<const NodeId> candidates,
+                                  const std::vector<Fingerprint>& fps) const {
+  const std::size_t n = clients_.size();
+  validate_candidates(candidates);
+
+  // Scatter: every query of the round leaves as a pending call before any
+  // response is awaited. Candidates get the fused probe; the other nodes
+  // contribute only their usage to the balance discount.
+  std::vector<char> is_candidate(n, 0);
+  for (NodeId c : candidates) is_candidate[c] = 1;
+  std::vector<net::PendingCall> calls;
+  calls.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    calls.push_back(is_candidate[i]
+                        ? clients_[i]->routing_probe_async(kind, fps)
+                        : clients_[i]->stored_bytes_async());
+  }
+
+  // Gather: one drain for the whole round (first failure rethrows after
+  // every service has answered).
+  const std::vector<Buffer> bodies =
+      net::RpcEndpoint::wait_all(calls, timeout_);
+
+  ProbeRound round;
+  round.usage.resize(n, 0);
+  std::vector<std::size_t> matches_by_node(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ByteView body{bodies[i].data(), bodies[i].size()};
+    if (is_candidate[i]) {
+      const RoutingProbeReply reply = decode_routing_probe_reply(body);
+      matches_by_node[i] = static_cast<std::size_t>(reply.matches);
+      round.usage[i] = reply.stored_bytes;
+    } else {
+      round.usage[i] = decode_u64(body);
+    }
+  }
+  round.matches.reserve(candidates.size());
+  for (NodeId c : candidates) round.matches.push_back(matches_by_node[c]);
+  return round;
+}
+
+}  // namespace sigma::service

@@ -68,6 +68,53 @@ std::vector<bool> decode_bitmap(ByteView body) {
   return bits;
 }
 
+Buffer encode_routing_probe_request(ProbeKind kind,
+                                    std::span<const Fingerprint> fps) {
+  WireWriter w(1 + 4 + fps.size() * Fingerprint::kSize);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(static_cast<std::uint32_t>(fps.size()));
+  for (const auto& fp : fps) w.fingerprint(fp);
+  return w.take();
+}
+
+Buffer encode_routing_probe_request(const RoutingProbeRequest& req) {
+  return encode_routing_probe_request(req.kind, req.fingerprints);
+}
+
+RoutingProbeRequest decode_routing_probe_request(ByteView body) {
+  WireReader r(body);
+  RoutingProbeRequest req;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(ProbeKind::kChunkMatch)) {
+    throw net::WireError("routing probe: unknown kind byte " +
+                         std::to_string(kind));
+  }
+  req.kind = static_cast<ProbeKind>(kind);
+  const std::uint32_t n = r.count(Fingerprint::kSize);
+  req.fingerprints.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    req.fingerprints.push_back(r.fingerprint());
+  }
+  r.expect_done();
+  return req;
+}
+
+Buffer encode_routing_probe_reply(const RoutingProbeReply& reply) {
+  WireWriter w(16);
+  w.u64(reply.matches);
+  w.u64(reply.stored_bytes);
+  return w.take();
+}
+
+RoutingProbeReply decode_routing_probe_reply(ByteView body) {
+  WireReader r(body);
+  RoutingProbeReply reply;
+  reply.matches = r.u64();
+  reply.stored_bytes = r.u64();
+  r.expect_done();
+  return reply;
+}
+
 Buffer encode_write_request(const WriteRequest& req) {
   std::size_t payload_bytes = 0;
   for (const auto& [idx, buf] : req.payloads) payload_bytes += buf.size() + 8;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,33 @@ std::uint64_t decode_u64(ByteView body);
 
 Buffer encode_bitmap(const std::vector<bool>& bits);
 std::vector<bool> decode_bitmap(ByteView body);
+
+// ---- Fused routing probe (scatter-gather probe plane) ---------------------
+
+/// Request: which index to query (ProbeKind) plus the fingerprints. One
+/// message carries a candidate's whole share of a routing decision.
+struct RoutingProbeRequest {
+  ProbeKind kind = ProbeKind::kResemblance;
+  std::vector<Fingerprint> fingerprints;
+};
+
+/// Span overload: encodes straight from the caller's fingerprint list —
+/// the per-candidate hot path copies nothing.
+Buffer encode_routing_probe_request(ProbeKind kind,
+                                    std::span<const Fingerprint> fps);
+Buffer encode_routing_probe_request(const RoutingProbeRequest& req);
+RoutingProbeRequest decode_routing_probe_request(ByteView body);
+
+/// Response: the match count plus the node's stored bytes, so one
+/// round-trip answers both the resemblance/match step and the
+/// balance-discount usage step of a routing decision.
+struct RoutingProbeReply {
+  std::uint64_t matches = 0;
+  std::uint64_t stored_bytes = 0;
+};
+
+Buffer encode_routing_probe_reply(const RoutingProbeReply& reply);
+RoutingProbeReply decode_routing_probe_reply(ByteView body);
 
 // ---- Batched super-chunk write -------------------------------------------
 

@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "common/hash_util.h"
+#include "common/thread_pool.h"
 #include "node/dedup_node.h"
+#include "node/probe_set.h"
 #include "routing/chunk_dht_router.h"
 #include "routing/extreme_binning_router.h"
 #include "routing/router.h"
@@ -317,6 +319,75 @@ TEST(DiscountTest, DiscountIsBounded) {
       routing_detail::discounted_score(8, 2000, 1000.0, 1);
   const double weak_empty = routing_detail::discounted_score(2, 0, 1000.0, 1);
   EXPECT_GT(strong_loaded, weak_empty);
+}
+
+// --- Scatter-gather probe plane ----------------------------------------------
+
+TEST_F(RoutingFixture, GatherAnswersMatchPerNodeProbes) {
+  // One scatter-gather round returns exactly what the per-node virtuals
+  // return, for both probe kinds and for every node's usage.
+  write_to(2, 100, 64);
+  write_to(5, 900, 64);
+
+  const auto unit = make_chunks(100, 64);
+  const Handprint hp = compute_handprint(unit, 8);
+  const std::vector<NodeId> candidates{1, 2, 5};
+
+  DirectProbeSet probes(views_);
+  const ProbeRound res =
+      probes.gather(ProbeKind::kResemblance, candidates, hp);
+  ASSERT_EQ(res.matches.size(), candidates.size());
+  ASSERT_EQ(res.usage.size(), views_.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(res.matches[i],
+              views_[candidates[i]]->resemblance_count(hp));
+  }
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    EXPECT_EQ(res.usage[i], views_[i]->stored_bytes());
+  }
+
+  std::vector<Fingerprint> fps;
+  for (const auto& c : unit) fps.push_back(c.fp);
+  const ProbeRound chunk_res =
+      probes.gather(ProbeKind::kChunkMatch, candidates, fps);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(chunk_res.matches[i],
+              views_[candidates[i]]->chunk_match_count(fps));
+  }
+}
+
+TEST_F(RoutingFixture, GatherRejectsOutOfRangeCandidate) {
+  DirectProbeSet probes(views_);
+  const std::vector<NodeId> bad{0, static_cast<NodeId>(views_.size())};
+  EXPECT_THROW(probes.gather(ProbeKind::kResemblance, bad, {}),
+               std::out_of_range);
+}
+
+TEST_F(RoutingFixture, PooledProbeSetRoutesIdenticallyToSequential) {
+  // Fanning the probe round across a thread pool must not move a single
+  // decision or message count for the two probing schemes.
+  ThreadPool pool(4);
+  DirectProbeSet sequential(views_);
+  DirectProbeSet fanned(views_, &pool);
+
+  SigmaRouter sigma{RouterConfig{}};
+  StatefulRouter stateful{RouterConfig{}};
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const auto unit = make_chunks(s * 777, 64);
+    RouteContext seq_ctx, fan_ctx;
+    const NodeId seq_target = sigma.route(unit, sequential, seq_ctx);
+    EXPECT_EQ(sigma.route(unit, fanned, fan_ctx), seq_target);
+    EXPECT_EQ(seq_ctx.pre_routing_messages, fan_ctx.pre_routing_messages);
+
+    RouteContext sseq_ctx, sfan_ctx;
+    const NodeId stateful_target =
+        stateful.route(unit, sequential, sseq_ctx);
+    EXPECT_EQ(stateful.route(unit, fanned, sfan_ctx), stateful_target);
+    EXPECT_EQ(sseq_ctx.pre_routing_messages, sfan_ctx.pre_routing_messages);
+
+    // Keep node state evolving so later rounds probe non-trivial indexes.
+    write_to(seq_target, s * 777, 64);
+  }
 }
 
 // --- No-node error paths ------------------------------------------------------

@@ -12,6 +12,7 @@
 #include "net/wire.h"
 #include "service/node_client.h"
 #include "service/node_service.h"
+#include "service/probe_set.h"
 #include "service/wire_protocol.h"
 
 namespace sigma {
@@ -102,7 +103,61 @@ TEST(WireProtocolTest, OversizedCountRejectedBeforeAllocation) {
                net::WireError);
 }
 
+TEST(WireProtocolTest, RoutingProbeRoundTripsAndRejectsBadKind) {
+  service::RoutingProbeRequest req;
+  req.kind = ProbeKind::kChunkMatch;
+  for (std::uint64_t i = 0; i < 9; ++i) req.fingerprints.push_back(rec(i).fp);
+  Buffer body = service::encode_routing_probe_request(req);
+  const auto got = service::decode_routing_probe_request(
+      ByteView{body.data(), body.size()});
+  EXPECT_EQ(got.kind, ProbeKind::kChunkMatch);
+  EXPECT_EQ(got.fingerprints, req.fingerprints);
+
+  body[0] = 0x7E;  // not a ProbeKind
+  EXPECT_THROW(service::decode_routing_probe_request(
+                   ByteView{body.data(), body.size()}),
+               net::WireError);
+
+  service::RoutingProbeReply reply{42, 1 << 20};
+  const Buffer rbody = service::encode_routing_probe_reply(reply);
+  const auto rgot = service::decode_routing_probe_reply(
+      ByteView{rbody.data(), rbody.size()});
+  EXPECT_EQ(rgot.matches, 42u);
+  EXPECT_EQ(rgot.stored_bytes, 1u << 20);
+  const Buffer junk{1, 2, 3};
+  EXPECT_THROW(service::decode_routing_probe_reply(
+                   ByteView{junk.data(), junk.size()}),
+               net::WireError);
+}
+
 // --- Probes over the wire -----------------------------------------------------
+
+TEST_F(ServiceFixture, FusedRoutingProbeMatchesDirectCalls) {
+  // The fused scatter-gather op answers both halves of a routing
+  // decision — match count and stored bytes — in one message, for both
+  // probe kinds.
+  const SuperChunk sc = make_super_chunk(0, 64);
+  node_.write_super_chunk(0, sc);
+
+  const Handprint hp = compute_handprint(sc.chunks, 8);
+  auto call = client_.routing_probe_async(ProbeKind::kResemblance, hp);
+  Buffer body = call.get(5000ms);
+  auto reply =
+      service::decode_routing_probe_reply(ByteView{body.data(), body.size()});
+  EXPECT_EQ(reply.matches, node_.resemblance_count(hp));
+  EXPECT_GT(reply.matches, 0u);
+  EXPECT_EQ(reply.stored_bytes, node_.stored_bytes());
+
+  std::vector<Fingerprint> fps;
+  for (const auto& c : sc.chunks) fps.push_back(c.fp);
+  fps.push_back(rec(777777).fp);  // one absent
+  call = client_.routing_probe_async(ProbeKind::kChunkMatch, fps);
+  body = call.get(5000ms);
+  reply =
+      service::decode_routing_probe_reply(ByteView{body.data(), body.size()});
+  EXPECT_EQ(reply.matches, node_.chunk_match_count(fps));
+  EXPECT_EQ(reply.matches, 64u);
+}
 
 TEST_F(ServiceFixture, ProbesMatchDirectCalls) {
   const SuperChunk sc = make_super_chunk(0, 64);
@@ -297,6 +352,56 @@ TEST_F(ServiceFixture, ConcurrentProbesAndWritesStayConsistent) {
   writer.join();
   EXPECT_EQ(node_.stats().super_chunks, static_cast<std::uint64_t>(kWrites));
   EXPECT_EQ(client_.stored_bytes(), node_.stored_bytes());
+}
+
+// --- Scatter-gather probe plane over the service stack ------------------------
+
+TEST(ClientProbeSetTest, GatherMatchesPerNodeStateAcrossFleet) {
+  // Three nodes behind services; one gather() answers candidates' match
+  // counts and the whole fleet's usage, identical to per-node truth.
+  constexpr std::size_t kNodes = 3;
+  net::LoopbackTransport transport;
+  ThreadPool pool(4);
+  std::vector<std::unique_ptr<DedupNode>> nodes;
+  std::vector<std::unique_ptr<service::NodeService>> services;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(
+        std::make_unique<DedupNode>(static_cast<NodeId>(i),
+                                    DedupNodeConfig{}));
+    services.push_back(std::make_unique<service::NodeService>(
+        *nodes.back(), transport, pool));
+  }
+  net::RpcEndpoint rpc(transport);
+  std::vector<std::unique_ptr<service::NodeClient>> clients;
+  std::vector<const service::NodeClient*> stubs;
+  for (auto& s : services) {
+    clients.push_back(std::make_unique<service::NodeClient>(
+        rpc, s->endpoint(), 5000ms));
+    stubs.push_back(clients.back().get());
+  }
+
+  const SuperChunk sc = make_super_chunk(50, 48);
+  nodes[1]->write_super_chunk(0, sc);
+
+  service::ClientProbeSet probes(stubs, 5000ms);
+  EXPECT_EQ(probes.size(), kNodes);
+
+  const Handprint hp = compute_handprint(sc.chunks, 8);
+  const std::vector<NodeId> candidates{0, 1};
+  const ProbeRound round =
+      probes.gather(ProbeKind::kResemblance, candidates, hp);
+  ASSERT_EQ(round.matches.size(), 2u);
+  ASSERT_EQ(round.usage.size(), kNodes);
+  EXPECT_EQ(round.matches[0], nodes[0]->resemblance_count(hp));
+  EXPECT_EQ(round.matches[1], nodes[1]->resemblance_count(hp));
+  EXPECT_GT(round.matches[1], 0u);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(round.usage[i], nodes[i]->stored_bytes());
+  }
+
+  const std::vector<NodeId> bad{kNodes};
+  EXPECT_THROW(probes.gather(ProbeKind::kChunkMatch, bad, {}),
+               std::out_of_range);
 }
 
 // --- Event-loop behavior ------------------------------------------------------

@@ -93,33 +93,41 @@ Dataset small_linux_trace() {
 class TcpSchemeIdentity : public ::testing::TestWithParam<RoutingScheme> {};
 
 TEST_P(TcpSchemeIdentity, TcpReportEqualsDirectReport) {
+  // Both probe modes over real sockets — batched scatter-gather (the
+  // default: all probe RPCs of a routing decision in flight together)
+  // and the sequential per-node fallback — must reproduce the
+  // direct-call report bit-identically, Fig. 7 probe counts included.
   const RoutingScheme scheme = GetParam();
   const Dataset trace = small_linux_trace();
 
   Cluster direct(direct_config(scheme, 4));
   direct.backup_dataset(trace);
   direct.flush();
-
-  TcpFleet fleet(2, 2);
-  Cluster over_tcp(tcp_config(scheme, fleet));
-  over_tcp.backup_dataset(trace);
-  over_tcp.flush();
-
-  EXPECT_TRUE(over_tcp.transport_backed());
-
   const auto d = direct.report();
-  const auto t = over_tcp.report();
-  EXPECT_EQ(d.logical_bytes, t.logical_bytes);
-  EXPECT_EQ(d.physical_bytes, t.physical_bytes);
-  EXPECT_EQ(d.node_usage, t.node_usage);
-  EXPECT_EQ(d.messages.pre_routing, t.messages.pre_routing);
-  EXPECT_EQ(d.messages.after_routing, t.messages.after_routing);
-  EXPECT_DOUBLE_EQ(d.dedup_ratio(), t.dedup_ratio());
 
-  // The traffic really crossed sockets.
-  const auto net = over_tcp.net_stats();
-  EXPECT_GT(net.messages_sent, 0u);
-  EXPECT_GT(net.bytes_sent, 0u);
+  for (const bool batched : {true, false}) {
+    TcpFleet fleet(2, 2);  // fresh daemons per run: node state is remote
+    ClusterConfig cfg = tcp_config(scheme, fleet);
+    cfg.transport.batched_probes = batched;
+    Cluster over_tcp(cfg);
+    over_tcp.backup_dataset(trace);
+    over_tcp.flush();
+
+    EXPECT_TRUE(over_tcp.transport_backed());
+
+    const auto t = over_tcp.report();
+    EXPECT_EQ(d.logical_bytes, t.logical_bytes);
+    EXPECT_EQ(d.physical_bytes, t.physical_bytes);
+    EXPECT_EQ(d.node_usage, t.node_usage);
+    EXPECT_EQ(d.messages.pre_routing, t.messages.pre_routing);
+    EXPECT_EQ(d.messages.after_routing, t.messages.after_routing);
+    EXPECT_DOUBLE_EQ(d.dedup_ratio(), t.dedup_ratio());
+
+    // The traffic really crossed sockets.
+    const auto net = over_tcp.net_stats();
+    EXPECT_GT(net.messages_sent, 0u);
+    EXPECT_GT(net.bytes_sent, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, TcpSchemeIdentity,

@@ -443,6 +443,87 @@ TEST(TcpTransportTest, NoRouteBouncesImmediately) {
   EXPECT_EQ(client.tcp_stats().bounced_requests, 1u);
 }
 
+TEST(TcpTransportTest, CollidingClientEndpointIsRefusedNotHijacked) {
+  // Two client transports sharing one endpoint base register the same
+  // endpoint id. The server learns the first client's return route; the
+  // second (colliding) client must be refused deterministically — a fast
+  // error, a route_conflicts tick — and must NOT hijack the first
+  // client's route (first registration wins).
+  TcpPair pair;
+  RpcEndpoint rpc_a(*pair.client);
+
+  TcpTransportConfig collider_cfg;
+  collider_cfg.endpoint_base = kClientEndpointBase;  // same base as client A
+  collider_cfg.remote_endpoints.emplace(
+      pair.echo_id, TcpAddress{"127.0.0.1", pair.server->listen_port()});
+  TcpTransport collider(collider_cfg);
+  RpcEndpoint rpc_b(collider);
+  ASSERT_EQ(rpc_a.id(), rpc_b.id());  // the collision under test
+
+  // A talks first: its route is learned.
+  EXPECT_EQ(rpc_a.call_sync(pair.echo_id, MessageType::kFlush, Buffer{1},
+                            5000ms),
+            Buffer{1});
+
+  // B's request must fail fast with the collision error, not time out
+  // (and not steal A's route).
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    rpc_b.call_sync(pair.echo_id, MessageType::kFlush, Buffer{2}, 30000ms);
+    FAIL() << "expected RpcError for colliding endpoint";
+  } catch (const RpcTimeoutError&) {
+    FAIL() << "expected collision error, got timeout";
+  } catch (const RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("collision"), std::string::npos);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 10s);
+  EXPECT_GE(pair.server->tcp_stats().route_conflicts, 1u);
+
+  // A keeps working: its learned route was not overwritten.
+  EXPECT_EQ(rpc_a.call_sync(pair.echo_id, MessageType::kFlush, Buffer{3},
+                            5000ms),
+            Buffer{3});
+}
+
+TEST(TcpTransportTest, StaleRouteIsTakenOverAfterSilentWindow) {
+  // An asymmetric connection drop (the server never sees FIN/RST) leaves
+  // the learned route pointing at a half-open connection. A new
+  // connection presenting the same endpoint id must take the route over
+  // once the old one has been silent past route_stale_ms — a re-dialing
+  // client is locked out for at most the stale window, never forever.
+  TcpTransportConfig server_cfg;
+  server_cfg.listen = TcpAddress{"127.0.0.1", 0};
+  server_cfg.endpoint_base = kServiceEndpointBase;
+  server_cfg.route_stale_ms = 200;
+  TcpTransport server(server_cfg);
+  const EndpointId echo = server.register_endpoint([&](Message&& m) {
+    if (m.kind == MessageKind::kRequest) {
+      server.send(Message::response_to(m, Buffer(m.body)));
+    }
+  });
+
+  auto make_client = [&] {
+    TcpTransportConfig cfg;
+    cfg.endpoint_base = kClientEndpointBase;  // both clients collide
+    cfg.remote_endpoints.emplace(echo,
+                                 TcpAddress{"127.0.0.1", server.listen_port()});
+    return std::make_unique<TcpTransport>(cfg);
+  };
+
+  auto client_a = make_client();
+  RpcEndpoint rpc_a(*client_a);
+  EXPECT_EQ(rpc_a.call_sync(echo, MessageType::kFlush, Buffer{1}, 5000ms),
+            Buffer{1});
+
+  std::this_thread::sleep_for(400ms);  // age A's route past the window
+
+  auto client_b = make_client();
+  RpcEndpoint rpc_b(*client_b);
+  EXPECT_EQ(rpc_b.call_sync(echo, MessageType::kFlush, Buffer{2}, 5000ms),
+            Buffer{2});
+  EXPECT_GE(server.tcp_stats().route_takeovers, 1u);
+}
+
 TEST(TcpTransportTest, ReconnectsAfterServerRestart) {
   // Kill the server mid-life, bring a new one up on the same port: the
   // client's next call redials transparently.
