@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify: full build + test suite, exactly as CI runs it, plus the
-# multi-process TCP smoke test (node_server daemons + client over sockets)
-# and an ASan+UBSan pass over the test suite (set SIGMA_SKIP_SANITIZERS=1
-# to skip it for a quick local run).
+# multi-process TCP smoke test (node_server daemons + client over sockets),
+# the persistence smoke test (file-backed daemons: store, SIGKILL, restart,
+# recover, read back) and an ASan+UBSan pass over the test suite (set
+# SIGMA_SKIP_SANITIZERS=1 to skip it for a quick local run).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,6 +12,7 @@ cmake --build build -j
 ctest --output-on-failure -j --test-dir build
 
 scripts/tcp_smoke.sh build
+scripts/persist_smoke.sh build
 
 if [[ "${SIGMA_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # The transport/service stack is poll loops, pending-call handoffs and

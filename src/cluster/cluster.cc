@@ -193,8 +193,15 @@ Cluster::Cluster(const ClusterConfig& config)
   } else {
     nodes_.reserve(config_.num_nodes);
     for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      // A backend factory swaps the node state store (e.g. FileBackend
+      // for durable on-disk containers) without touching dedup behavior:
+      // reports must stay bit-identical to the in-memory default.
       nodes_.push_back(
-          std::make_unique<DedupNode>(static_cast<NodeId>(i), config_.node));
+          config_.backend_factory
+              ? std::make_unique<DedupNode>(id, config_.node,
+                                            config_.backend_factory(id))
+              : std::make_unique<DedupNode>(id, config_.node));
     }
   }
   if (config_.scheme == RoutingScheme::kExtremeBinning &&

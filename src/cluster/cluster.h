@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -84,6 +85,12 @@ struct ClusterConfig {
   RouterConfig router;
   DedupNodeConfig node;
   TransportConfig transport;
+  /// Storage backend for locally hosted nodes (direct and loopback
+  /// modes); null = in-memory. Called once per node at construction —
+  /// e.g. `[&](NodeId i) { return std::make_unique<FileBackend>(dir /
+  /// std::to_string(i)); }` for durable on-disk containers. Ignored in
+  /// kTcp mode, where the daemons own their backends.
+  std::function<std::unique_ptr<StorageBackend>(NodeId)> backend_factory;
   /// Extreme Binning deduplicates a file only against its bin (the
   /// published design). Disable to give EB exact per-node dedup (used as
   /// an ablation upper bound).

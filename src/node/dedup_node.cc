@@ -1,6 +1,5 @@
 #include "node/dedup_node.h"
 
-#include <string_view>
 #include <unordered_map>
 
 namespace sigma {
@@ -151,55 +150,85 @@ SuperChunkWriteResult DedupNode::write_super_chunk(
 void DedupNode::flush() { containers_.flush(); }
 
 std::size_t DedupNode::rebuild_indexes() {
-  std::size_t recovered = 0;
-  ContainerId max_cid = 0;
-  std::uint64_t recovered_bytes = 0;
+  RecoveryReport report;
+  std::optional<ContainerId> max_cid;
   for (const std::string& key : backend_->keys()) {
-    // Sealed containers persist both "container-<id>" and
-    // "container-<id>.meta"; recover from the metadata blobs.
-    constexpr std::string_view kPrefix = "container-";
-    constexpr std::string_view kSuffix = ".meta";
-    if (key.size() <= kPrefix.size() + kSuffix.size() ||
-        key.compare(0, kPrefix.size(), kPrefix) != 0 ||
-        key.compare(key.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
-            0) {
-      continue;
-    }
-    const std::string id_str = key.substr(
-        kPrefix.size(), key.size() - kPrefix.size() - kSuffix.size());
-    const ContainerId cid = std::stoull(id_str);
+    // Sealed containers persist as "container-<id>" blobs plus a
+    // "container-<id>.meta" sidecar; recovery is driven by the container
+    // blobs (the sidecar is a read optimization, regenerated on demand).
+    // Foreign keys — sidecars, the manifest, stray files in a shared
+    // directory — are simply not containers and are ignored.
+    const auto cid = ContainerStore::parse_container_key(key);
+    if (!cid) continue;
+    // Every container id present on disk — recovered OR refused — fences
+    // off the id space: new containers must never overwrite an existing
+    // blob, least of all a damaged one an operator might still salvage.
+    max_cid = std::max(max_cid.value_or(*cid), *cid);
     const auto blob = backend_->get(key);
     if (!blob) continue;
-    const auto metadata =
-        Container::deserialize_metadata(ByteView{blob->data(), blob->size()});
 
+    // Validate the whole blob before indexing anything from it: a
+    // truncated, bit-flipped or misnamed container is refused whole.
+    std::optional<Container> container;
+    try {
+      container =
+          Container::deserialize(ByteView{blob->data(), blob->size()});
+      if (container->id() != *cid) {
+        throw std::runtime_error("container id does not match key");
+      }
+    } catch (const std::exception&) {
+      ++report.containers_skipped;
+      continue;
+    }
+
+    const auto& metadata = container->metadata();
     std::vector<ChunkRecord> records;
     records.reserve(metadata.size());
     for (std::uint32_t i = 0; i < metadata.size(); ++i) {
       const ChunkMeta& m = metadata[i];
-      chunk_index_.insert(m.fp, {cid, i});
+      chunk_index_.insert(m.fp, {*cid, i});
       {
         std::lock_guard lock(bloom_mu_);
         bloom_.insert(m.fp);
       }
       records.push_back({m.fp, m.length});
-      recovered_bytes += m.length;
+      report.bytes_recovered += m.length;
     }
-    max_cid = std::max(max_cid, cid);
+    report.chunks_recovered += metadata.size();
     // Republish the container's locality unit in the similarity index so
     // post-recovery routing probes and prefetches keep working.
     for (const auto& rfp :
          compute_handprint(records, config_.handprint_size)) {
-      similarity_index_.put(rfp, cid);
+      similarity_index_.put(rfp, *cid);
     }
-    ++recovered;
+    // Repair the metadata sidecar if it is missing or does not decode to
+    // this container's metadata (read_metadata depends on it).
+    const std::string meta_key = ContainerStore::metadata_key(*cid);
+    bool sidecar_ok = false;
+    try {
+      if (const auto meta_blob = backend_->get(meta_key)) {
+        sidecar_ok = Container::deserialize_metadata(ByteView{
+                         meta_blob->data(), meta_blob->size()}) == metadata;
+      }
+    } catch (const std::exception&) {
+      sidecar_ok = false;
+    }
+    if (!sidecar_ok) {
+      const Buffer fixed = container->serialize_metadata();
+      backend_->put(meta_key, ByteView{fixed.data(), fixed.size()});
+      ++report.sidecars_repaired;
+    }
+    ++report.containers_recovered;
   }
-  if (recovered > 0) {
-    containers_.restore_state(max_cid + 1, recovered_bytes);
+  if (max_cid) {
+    containers_.restore_state(*max_cid + 1, report.bytes_recovered);
+  }
+  if (report.bytes_recovered > 0) {
     std::lock_guard lock(stats_mu_);
-    stats_.physical_bytes += recovered_bytes;
+    stats_.physical_bytes += report.bytes_recovered;
   }
-  return recovered;
+  recovery_ = report;
+  return report.containers_recovered;
 }
 
 std::optional<Buffer> DedupNode::read_chunk(const Fingerprint& fp) const {

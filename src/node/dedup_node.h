@@ -76,6 +76,20 @@ struct SuperChunkWriteResult {
   std::uint64_t container_prefetches = 0;
 };
 
+/// Outcome of one rebuild_indexes() recovery pass.
+struct RecoveryReport {
+  /// Sealed containers whose blobs validated and were re-indexed.
+  std::size_t containers_recovered = 0;
+  /// Container blobs present but refused (truncated, corrupt, id
+  /// mismatch). Their chunks are not indexed — a bad container is skipped
+  /// whole, never partially.
+  std::size_t containers_skipped = 0;
+  /// Metadata sidecars rewritten because they were missing or corrupt.
+  std::size_t sidecars_repaired = 0;
+  std::uint64_t chunks_recovered = 0;
+  std::uint64_t bytes_recovered = 0;
+};
+
 /// Cumulative node statistics.
 struct DedupNodeStats {
   std::uint64_t logical_bytes = 0;
@@ -148,8 +162,20 @@ class DedupNode : public NodeProbe {
   /// self-describing, so the indexes are soft state). Each recovered
   /// container contributes its chunk locations to the chunk index and its
   /// k smallest fingerprints (the container's locality unit handprint) to
-  /// the similarity index. Returns the number of containers recovered.
+  /// the similarity index.
+  ///
+  /// Container blobs are fully validated (wire-codec bounds checks,
+  /// structural invariants, checksum) before any of their chunks are
+  /// indexed; a blob that fails validation is counted in
+  /// RecoveryReport::containers_skipped and contributes nothing — no
+  /// crash, no silent partial index. Missing or corrupt metadata sidecars
+  /// of valid containers are regenerated from the container blob.
+  /// Returns the number of containers recovered; the full breakdown is
+  /// available from last_recovery().
   std::size_t rebuild_indexes();
+
+  /// Breakdown of the most recent rebuild_indexes() pass.
+  const RecoveryReport& last_recovery() const { return recovery_; }
 
   // ---- Restore path -----------------------------------------------------
 
@@ -178,6 +204,7 @@ class DedupNode : public NodeProbe {
   ChunkIndex chunk_index_;
   BloomFilter bloom_;
   mutable std::mutex bloom_mu_;
+  RecoveryReport recovery_;
 
   mutable std::mutex stats_mu_;
   DedupNodeStats stats_;

@@ -1,14 +1,62 @@
 #include "server/node_server.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <thread>
 
+#include "storage/manifest.h"
+
 namespace sigma::server {
+namespace {
+
+/// Opens (or initializes) one node's durable directory: validates the
+/// manifest against the node's identity — refusing a directory written by
+/// another node, endpoint or format version — and (re)writes it.
+std::unique_ptr<StorageBackend> open_file_backend(
+    const NodeServerConfig& config, std::size_t i) {
+  if (config.data_dir.empty()) {
+    throw std::invalid_argument(
+        "NodeServer: file backend requires a data directory");
+  }
+  auto backend = std::make_unique<FileBackend>(
+      config.data_dir / ("node-" + std::to_string(i)), config.fsync);
+  const std::uint64_t endpoint =
+      config.first_endpoint + static_cast<net::EndpointId>(i);
+  if (const auto stored = load_manifest(*backend)) {
+    check_manifest(*stored, i, endpoint);
+  }
+  NodeManifest manifest;
+  manifest.node_id = i;
+  manifest.endpoint = endpoint;
+  manifest.container_capacity_bytes = config.node.container_capacity_bytes;
+  store_manifest(*backend, manifest);
+  return backend;
+}
+
+}  // namespace
 
 NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
   if (config_.num_nodes == 0) {
     throw std::invalid_argument("NodeServer: need at least one node");
   }
+
+  // Recover node state BEFORE any socket exists: until every index is
+  // rebuilt from the sealed containers, the daemon is unreachable.
+  nodes_.reserve(config_.num_nodes);
+  recoveries_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    if (config_.backend == BackendKind::kFile) {
+      nodes_.push_back(std::make_unique<DedupNode>(
+          static_cast<NodeId>(i), config_.node, open_file_backend(config_, i)));
+      nodes_.back()->rebuild_indexes();
+      recoveries_.push_back(nodes_.back()->last_recovery());
+    } else {
+      nodes_.push_back(
+          std::make_unique<DedupNode>(static_cast<NodeId>(i), config_.node));
+      recoveries_.push_back({});
+    }
+  }
+
   net::TcpTransportConfig tcp;
   tcp.listen = config_.listen;
   tcp.endpoint_base = config_.first_endpoint;
@@ -27,14 +75,19 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
                 std::max(2u, std::thread::hardware_concurrency()));
   pool_ = std::make_unique<ThreadPool>(threads);
 
-  nodes_.reserve(config_.num_nodes);
   services_.reserve(config_.num_nodes);
-  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
-    nodes_.push_back(
-        std::make_unique<DedupNode>(static_cast<NodeId>(i), config_.node));
+  for (auto& node : nodes_) {
     services_.push_back(std::make_unique<service::NodeService>(
-        *nodes_.back(), *transport_, *pool_));
+        *node, *transport_, *pool_));
   }
+}
+
+void NodeServer::flush() {
+  // Unbinding a service waits for its in-flight drain, so once this loop
+  // finishes no request can reach a node again — only then is sealing
+  // the open containers the complete final state.
+  services_.clear();
+  for (auto& node : nodes_) node->flush();
 }
 
 NodeServer::~NodeServer() = default;

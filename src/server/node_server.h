@@ -6,9 +6,17 @@
 // Endpoint layout is the deployment contract: node i of this daemon is
 // registered at `first_endpoint + i` (default net::kServiceEndpointBase),
 // which is what a client puts in its TransportConfig node map.
+//
+// With the file backend every node owns a subdirectory of `data_dir`
+// (`node-<i>`, pinned to its identity by a versioned manifest). The
+// constructor recovers each node from its sealed containers via
+// DedupNode::rebuild_indexes() BEFORE the listening socket is created, so
+// a restarted daemon never serves a request against half-built indexes —
+// callers print READY only after construction returns.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -19,6 +27,12 @@
 
 namespace sigma::server {
 
+/// Where node state lives.
+enum class BackendKind {
+  kMemory,  // state dies with the process (benchmarks, identity tests)
+  kFile,    // durable containers under data_dir, recovered on restart
+};
+
 struct NodeServerConfig {
   net::TcpAddress listen{"127.0.0.1", 0};  // port 0 = ephemeral
   std::size_t num_nodes = 1;
@@ -28,12 +42,24 @@ struct NodeServerConfig {
   std::size_t service_threads = 0;
   DedupNodeConfig node;
   std::size_t max_body_bytes = 64ull << 20;
+
+  /// Node state storage. kFile requires data_dir.
+  BackendKind backend = BackendKind::kMemory;
+  /// File-backend root; node i stores under data_dir/node-<i>.
+  std::filesystem::path data_dir;
+  /// File backend: fsync blobs and the directory on every put, so a
+  /// sealed container survives power loss, not just a killed process.
+  bool fsync = true;
 };
 
 class NodeServer {
  public:
-  /// Binds the listen address and brings every node service up. Throws
-  /// SocketError when the address cannot be bound.
+  /// Brings every node up — for the file backend: opens (or initializes)
+  /// its data directory, validates the manifest and rebuilds the indexes
+  /// from sealed containers — then binds the listen address and starts
+  /// the node services. Throws SocketError when the address cannot be
+  /// bound and std::runtime_error when a data directory is refused
+  /// (manifest mismatch).
   explicit NodeServer(const NodeServerConfig& config);
   ~NodeServer();
 
@@ -54,11 +80,26 @@ class NodeServer {
     return *services_.at(i);
   }
 
+  /// Startup recovery outcome of node i (all zeros for kMemory — there is
+  /// nothing to recover).
+  const RecoveryReport& recovery(std::size_t i) const {
+    return recoveries_.at(i);
+  }
+
+  /// SIGTERM-clean shutdown: stop serving (unbind every node service,
+  /// draining its inbox — later requests bounce as transport errors),
+  /// THEN seal every node's open containers to the backend. The order
+  /// matters: sealing first would let still-arriving stores land in
+  /// fresh open containers that die with the process. Irreversible —
+  /// the server cannot serve again afterwards.
+  void flush();
+
   net::NetStats net_stats() const { return transport_->stats(); }
   net::TcpTransportStats tcp_stats() const { return transport_->tcp_stats(); }
 
  private:
   NodeServerConfig config_;
+  std::vector<RecoveryReport> recoveries_;
   // Teardown order (reverse of declaration): services unbind first, then
   // the pool joins, then the transport stops its event loop.
   std::unique_ptr<net::TcpTransport> transport_;

@@ -1,5 +1,10 @@
 #include "storage/backend.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -42,15 +47,56 @@ std::vector<std::string> MemoryBackend::keys() {
   return out;
 }
 
-FileBackend::FileBackend(std::filesystem::path dir) : dir_(std::move(dir)) {
+namespace {
+
+bool ends_with_tmp_suffix(const std::string& name) {
+  return name.size() >= FileBackend::kTmpSuffix.size() &&
+         name.compare(name.size() - FileBackend::kTmpSuffix.size(),
+                      FileBackend::kTmpSuffix.size(),
+                      FileBackend::kTmpSuffix) == 0;
+}
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw std::runtime_error("FileBackend: " + what + ": " + path.string() +
+                           ": " + std::strerror(errno));
+}
+
+void fsync_path(const std::filesystem::path& path, bool directory) {
+  const int fd =
+      ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) throw_errno("cannot open for fsync", path);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync failed", path);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+FileBackend::FileBackend(std::filesystem::path dir, bool fsync)
+    : dir_(std::move(dir)), fsync_(fsync) {
   std::filesystem::create_directories(dir_);
+  // A crashed writer can leave *.inprogress temps behind; they were never
+  // visible as keys and must not become visible now.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.is_regular_file() &&
+        ends_with_tmp_suffix(entry.path().filename().string())) {
+      std::filesystem::remove(entry.path());
+    }
+  }
 }
 
 std::filesystem::path FileBackend::path_for(const std::string& key) const {
   // Keys are generated internally (container ids, index shards) and never
-  // contain path separators; reject anything suspicious outright.
+  // contain path separators; reject anything suspicious outright. The
+  // temp-file suffix is reserved so a key can never collide with an
+  // in-progress write.
   if (key.empty() || key.find('/') != std::string::npos ||
-      key.find("..") != std::string::npos) {
+      key.find("..") != std::string::npos || ends_with_tmp_suffix(key)) {
     throw std::invalid_argument("FileBackend: invalid key: " + key);
   }
   return dir_ / key;
@@ -58,18 +104,52 @@ std::filesystem::path FileBackend::path_for(const std::string& key) const {
 
 void FileBackend::put(const std::string& key, ByteView data) {
   const auto path = path_for(key);
+  // The slow phase — writing and (optionally) fsyncing the payload —
+  // happens on a per-call temp file OUTSIDE mu_, so a multi-millisecond
+  // container-seal fsync never blocks concurrent reads on the node.
+  auto tmp = path;
+  tmp += '.';
+  tmp += std::to_string(tmp_seq_.fetch_add(1));
+  tmp += kTmpSuffix;
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot open for write", tmp);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      std::filesystem::remove(tmp);
+      errno = saved;
+      throw_errno("short write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (fsync_ && ::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    std::filesystem::remove(tmp);
+    errno = saved;
+    throw_errno("fsync failed", tmp);
+  }
+  if (::close(fd) != 0) {
+    std::filesystem::remove(tmp);
+    throw_errno("close failed", tmp);
+  }
   {
     std::lock_guard lock(mu_);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("FileBackend: cannot open for write: " +
-                               path.string());
+    // Atomic publish: a crash before this rename leaves only the temp
+    // file (swept on the next startup); after it, the complete blob.
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      std::filesystem::remove(tmp);
+      throw std::runtime_error("FileBackend: rename failed: " +
+                               path.string() + ": " + ec.message());
     }
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-    if (!out) {
-      throw std::runtime_error("FileBackend: short write: " + path.string());
-    }
+    if (fsync_) fsync_path(dir_, /*directory=*/true);
   }
   record_write(data.size());
 }
@@ -107,7 +187,10 @@ std::vector<std::string> FileBackend::keys() {
   std::lock_guard lock(mu_);
   std::vector<std::string> out;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
-    if (entry.is_regular_file()) out.push_back(entry.path().filename());
+    if (!entry.is_regular_file()) continue;  // foreign subdirs etc.
+    std::string name = entry.path().filename().string();
+    if (ends_with_tmp_suffix(name)) continue;  // never-published temp
+    out.push_back(std::move(name));
   }
   return out;
 }

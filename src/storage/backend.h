@@ -5,12 +5,14 @@
 // Both count I/O so benches can report disk-access behaviour uniformly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -76,23 +78,40 @@ class MemoryBackend final : public StorageBackend {
 };
 
 /// Directory-of-files backend. Keys map to file names; the directory is
-/// created on construction.
+/// created on construction (stale in-progress temp files from a crashed
+/// writer are swept away then).
+///
+/// `put` is atomic with respect to crashes: data is written to a temp
+/// file and renamed into place, so a reader (in particular crash
+/// recovery) only ever sees a key fully written or not at all. With
+/// `fsync` enabled the payload is fsynced before the rename and the
+/// directory after it — the durability policy node daemons use so a
+/// sealed container survives power loss, not just process death.
 class FileBackend final : public StorageBackend {
  public:
-  explicit FileBackend(std::filesystem::path dir);
+  explicit FileBackend(std::filesystem::path dir, bool fsync = false);
 
   void put(const std::string& key, ByteView data) override;
   std::optional<Buffer> get(const std::string& key) override;
   bool exists(const std::string& key) override;
   void remove(const std::string& key) override;
+  /// Lists stored keys: regular files only, in-progress temps excluded.
   std::vector<std::string> keys() override;
 
   const std::filesystem::path& dir() const { return dir_; }
+  bool fsync_enabled() const { return fsync_; }
+
+  /// Suffix of in-progress temp files (never valid in a key).
+  static constexpr std::string_view kTmpSuffix = ".inprogress";
 
  private:
   std::filesystem::path path_for(const std::string& key) const;
 
   std::filesystem::path dir_;
+  const bool fsync_;
+  /// Makes each put's temp file unique, so the slow write+fsync phase
+  /// runs outside mu_ without two puts ever sharing a temp path.
+  std::atomic<std::uint64_t> tmp_seq_{0};
   std::mutex mu_;
 };
 

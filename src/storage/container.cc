@@ -1,83 +1,52 @@
 #include "storage/container.h"
 
-#include <cstring>
 #include <stdexcept>
+
+#include "net/wire.h"
+#include "storage/durable_frame.h"
 
 namespace sigma {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x53444331;  // "SDC1"
+// On-disk framing (format version 2): both the container file and its
+// metadata sidecar are encoded with the bounds-checked wire codec and end
+// in an FNV-1a checksum over everything before it, so recovery can tell a
+// torn, truncated or bit-flipped file from a good one deterministically.
+constexpr std::uint32_t kContainerMagic = 0x53444332;  // "SDC2"
+constexpr std::uint32_t kMetadataMagic = 0x53444D32;   // "SDM2"
+constexpr std::uint32_t kFormatVersion = 2;
 
-void put_u32(Buffer& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
+/// Serialized size of one ChunkMeta entry.
+constexpr std::size_t kMetaEntryBytes = Fingerprint::kSize + 8 + 4;
 
-void put_u64(Buffer& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-class Reader {
- public:
-  explicit Reader(ByteView data) : data_(data) {}
-
-  std::uint32_t u32() {
-    check(4);
-    std::uint32_t v = 0;
-    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
-    pos_ += 4;
-    return v;
-  }
-
-  std::uint64_t u64() {
-    check(8);
-    std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
-    pos_ += 8;
-    return v;
-  }
-
-  ByteView bytes(std::size_t n) {
-    check(n);
-    ByteView v = data_.subspan(pos_, n);
-    pos_ += n;
-    return v;
-  }
-
-  std::size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  void check(std::size_t n) const {
-    if (pos_ + n > data_.size()) {
-      throw std::runtime_error("Container: truncated blob");
-    }
-  }
-  ByteView data_;
-  std::size_t pos_ = 0;
-};
-
-void serialize_meta_section(const std::vector<ChunkMeta>& metadata,
-                            Buffer& out) {
-  put_u32(out, static_cast<std::uint32_t>(metadata.size()));
+void write_meta_section(const std::vector<ChunkMeta>& metadata,
+                        net::WireWriter& w) {
+  w.u32(static_cast<std::uint32_t>(metadata.size()));
   for (const auto& m : metadata) {
-    out.insert(out.end(), m.fp.bytes().begin(), m.fp.bytes().end());
-    put_u64(out, m.offset);
-    put_u32(out, m.length);
+    w.fingerprint(m.fp);
+    w.u64(m.offset);
+    w.u32(m.length);
   }
 }
 
-std::vector<ChunkMeta> read_meta_section(Reader& reader) {
-  const std::uint32_t count = reader.u32();
+/// Reads and structurally validates a metadata section: entry offsets must
+/// tile the data section contiguously from zero (the only layout append()
+/// and append_meta() ever produce), so a decoded section is either exactly
+/// a container's metadata or an error — never a partially plausible one.
+std::vector<ChunkMeta> read_meta_section(net::WireReader& r) {
+  const std::uint32_t count = r.count(kMetaEntryBytes);
   std::vector<ChunkMeta> metadata;
   metadata.reserve(count);
+  std::uint64_t expected_offset = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
     ChunkMeta m;
-    m.fp = Fingerprint::from_bytes(reader.bytes(Fingerprint::kSize));
-    m.offset = reader.u64();
-    m.length = reader.u32();
+    m.fp = r.fingerprint();
+    m.offset = r.u64();
+    m.length = r.u32();
+    if (m.offset != expected_offset) {
+      throw net::WireError("container: non-contiguous chunk offsets");
+    }
+    expected_offset += m.length;
     metadata.push_back(m);
   }
   return metadata;
@@ -117,41 +86,67 @@ ByteView Container::chunk_data(std::size_t index) const {
 }
 
 Buffer Container::serialize() const {
-  Buffer out;
-  put_u32(out, kMagic);
-  put_u64(out, id_);
-  put_u32(out, has_payloads() ? 1u : 0u);
-  serialize_meta_section(metadata_, out);
-  put_u64(out, data_size_);
-  out.insert(out.end(), data_.begin(), data_.end());
-  return out;
+  net::WireWriter w(64 + metadata_.size() * kMetaEntryBytes + data_.size());
+  w.u32(kContainerMagic);
+  w.u32(kFormatVersion);
+  w.u64(id_);
+  w.u8(has_payloads() ? 1 : 0);
+  write_meta_section(metadata_, w);
+  w.u64(data_size_);
+  w.bytes(ByteView{data_.data(), data_.size()});
+  return seal_frame(w);
 }
 
 Container Container::deserialize(ByteView blob) {
-  Reader reader(blob);
-  if (reader.u32() != kMagic) {
-    throw std::runtime_error("Container: bad magic");
+  net::WireReader r = open_frame(blob, "Container");
+  if (r.u32() != kContainerMagic) {
+    throw net::WireError("Container: bad magic");
   }
-  Container c(reader.u64());
-  const bool has_payloads = reader.u32() != 0;
-  c.metadata_ = read_meta_section(reader);
-  c.data_size_ = reader.u64();
+  if (const std::uint32_t v = r.u32(); v != kFormatVersion) {
+    throw net::WireError("Container: unsupported format version " +
+                         std::to_string(v));
+  }
+  Container c(r.u64());
+  const bool has_payloads = r.u8() != 0;
+  c.metadata_ = read_meta_section(r);
+  c.data_size_ = r.u64();
+  const ByteView data = r.bytes();
+  r.expect_done();
+  if (!c.metadata_.empty() &&
+      c.metadata_.back().offset + c.metadata_.back().length != c.data_size_) {
+    throw net::WireError("Container: metadata does not cover data section");
+  }
   if (has_payloads) {
-    ByteView data = reader.bytes(static_cast<std::size_t>(c.data_size_));
+    if (data.size() != c.data_size_) {
+      throw net::WireError("Container: payload section size mismatch");
+    }
     c.data_.assign(data.begin(), data.end());
+  } else if (!data.empty()) {
+    throw net::WireError("Container: payload bytes in meta-only container");
   }
   return c;
 }
 
 Buffer Container::serialize_metadata() const {
-  Buffer out;
-  serialize_meta_section(metadata_, out);
-  return out;
+  net::WireWriter w(16 + metadata_.size() * kMetaEntryBytes);
+  w.u32(kMetadataMagic);
+  w.u32(kFormatVersion);
+  write_meta_section(metadata_, w);
+  return seal_frame(w);
 }
 
 std::vector<ChunkMeta> Container::deserialize_metadata(ByteView blob) {
-  Reader reader(blob);
-  return read_meta_section(reader);
+  net::WireReader r = open_frame(blob, "Container metadata");
+  if (r.u32() != kMetadataMagic) {
+    throw net::WireError("Container metadata: bad magic");
+  }
+  if (const std::uint32_t v = r.u32(); v != kFormatVersion) {
+    throw net::WireError("Container metadata: unsupported format version " +
+                         std::to_string(v));
+  }
+  auto metadata = read_meta_section(r);
+  r.expect_done();
+  return metadata;
 }
 
 }  // namespace sigma

@@ -12,12 +12,34 @@ ContainerStore::ContainerStore(StorageBackend& backend,
   }
 }
 
-std::string ContainerStore::key_for(ContainerId id) {
+std::string ContainerStore::container_key(ContainerId id) {
   return "container-" + std::to_string(id);
 }
 
-std::string ContainerStore::meta_key_for(ContainerId id) {
+std::string ContainerStore::metadata_key(ContainerId id) {
   return "container-" + std::to_string(id) + ".meta";
+}
+
+std::optional<ContainerId> ContainerStore::parse_container_key(
+    const std::string& key) {
+  constexpr std::string_view kPrefix = "container-";
+  if (key.size() <= kPrefix.size() ||
+      key.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return std::nullopt;
+  }
+  // Strictly digits after the prefix: sidecars ("container-3.meta") and
+  // foreign files ("container-junk") are not container blobs.
+  ContainerId id = 0;
+  for (std::size_t i = kPrefix.size(); i < key.size(); ++i) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    if (id > (kInvalidContainer - (c - '0')) / 10) return std::nullopt;
+    id = id * 10 + static_cast<ContainerId>(c - '0');
+  }
+  // The sentinel is not an allocatable id; admitting it would wrap
+  // restore_state(id + 1) back to 0.
+  if (id == kInvalidContainer) return std::nullopt;
+  return id;
 }
 
 Container& ContainerStore::open_container_for(StreamId stream,
@@ -39,8 +61,8 @@ void ContainerStore::seal_locked(StreamId stream) {
   const Container& c = *it->second;
   // Persist the full container and, separately, its metadata section so
   // that cache prefetch reads metadata without dragging in payloads.
-  backend_.put(key_for(c.id()), c.serialize());
-  backend_.put(meta_key_for(c.id()), c.serialize_metadata());
+  backend_.put(container_key(c.id()), c.serialize());
+  backend_.put(metadata_key(c.id()), c.serialize_metadata());
   open_.erase(it);
 }
 
@@ -78,7 +100,7 @@ std::vector<ChunkMeta> ContainerStore::read_metadata(ContainerId id) const {
       if (c->id() == id) return c->metadata();
     }
   }
-  auto blob = backend_.get(meta_key_for(id));
+  auto blob = backend_.get(metadata_key(id));
   if (!blob) {
     throw std::runtime_error("ContainerStore: unknown container " +
                              std::to_string(id));
@@ -96,7 +118,7 @@ Buffer ContainerStore::read_chunk(const ChunkLocation& loc) const {
       }
     }
   }
-  auto blob = backend_.get(key_for(loc.container));
+  auto blob = backend_.get(container_key(loc.container));
   if (!blob) {
     throw std::runtime_error("ContainerStore: unknown container " +
                              std::to_string(loc.container));

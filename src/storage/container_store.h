@@ -68,12 +68,19 @@ class ContainerStore {
   /// `min_next`, and credit `bytes` of pre-existing stored data.
   void restore_state(ContainerId min_next, std::uint64_t bytes);
 
+  /// Backend key of a sealed container blob ("container-<id>").
+  static std::string container_key(ContainerId id);
+  /// Backend key of its metadata sidecar ("container-<id>.meta").
+  static std::string metadata_key(ContainerId id);
+  /// Parses a backend key of the container_key() form back to an id;
+  /// std::nullopt for sidecars, manifests and foreign files.
+  static std::optional<ContainerId> parse_container_key(
+      const std::string& key);
+
  private:
   // Must hold mu_.
   Container& open_container_for(StreamId stream, std::uint64_t upcoming);
   void seal_locked(StreamId stream);
-  static std::string key_for(ContainerId id);
-  static std::string meta_key_for(ContainerId id);
 
   StorageBackend& backend_;
   const std::uint64_t capacity_bytes_;

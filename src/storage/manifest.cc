@@ -1,0 +1,73 @@
+#include "storage/manifest.h"
+
+#include <stdexcept>
+
+#include "net/wire.h"
+#include "storage/durable_frame.h"
+
+namespace sigma {
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x53444D46;  // "SDMF"
+
+}  // namespace
+
+Buffer NodeManifest::encode() const {
+  net::WireWriter w(48);
+  w.u32(kManifestMagic);
+  w.u32(version);
+  w.u64(node_id);
+  w.u64(endpoint);
+  w.u64(container_capacity_bytes);
+  return seal_frame(w);
+}
+
+NodeManifest NodeManifest::decode(ByteView blob) {
+  net::WireReader r = open_frame(blob, "NodeManifest");
+  if (r.u32() != kManifestMagic) {
+    throw net::WireError("NodeManifest: bad magic");
+  }
+  NodeManifest m;
+  m.version = r.u32();
+  m.node_id = r.u64();
+  m.endpoint = r.u64();
+  m.container_capacity_bytes = r.u64();
+  r.expect_done();
+  return m;
+}
+
+std::optional<NodeManifest> load_manifest(StorageBackend& backend) {
+  const auto blob = backend.get(kManifestKey);
+  if (!blob) return std::nullopt;
+  return NodeManifest::decode(ByteView{blob->data(), blob->size()});
+}
+
+void store_manifest(StorageBackend& backend, const NodeManifest& manifest) {
+  const Buffer blob = manifest.encode();
+  backend.put(kManifestKey, ByteView{blob.data(), blob.size()});
+}
+
+void check_manifest(const NodeManifest& stored, std::uint64_t node_id,
+                    std::uint64_t endpoint) {
+  if (stored.version != NodeManifest::kVersion) {
+    throw std::runtime_error(
+        "NodeManifest: data directory uses format version " +
+        std::to_string(stored.version) + ", this build expects " +
+        std::to_string(NodeManifest::kVersion));
+  }
+  if (stored.node_id != node_id) {
+    throw std::runtime_error(
+        "NodeManifest: data directory belongs to node " +
+        std::to_string(stored.node_id) + ", refusing to open it as node " +
+        std::to_string(node_id));
+  }
+  if (stored.endpoint != endpoint) {
+    throw std::runtime_error(
+        "NodeManifest: data directory was served at endpoint " +
+        std::to_string(stored.endpoint) +
+        ", refusing to re-serve it at endpoint " + std::to_string(endpoint) +
+        " (keep --first-endpoint stable across restarts)");
+  }
+}
+
+}  // namespace sigma

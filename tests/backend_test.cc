@@ -2,7 +2,9 @@
 // identically; I/O accounting must track operations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "storage/backend.h"
@@ -124,6 +126,120 @@ TEST(FileBackendTest, RejectsPathTraversalKeys) {
                std::invalid_argument);
   EXPECT_THROW(backend.put("", ByteView{a.data(), a.size()}),
                std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendTest, RejectsInvalidKeysOnEveryOperation) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "sigma-fb-badkeys";
+  std::filesystem::remove_all(dir);
+  FileBackend backend(dir);
+  const Buffer a = bytes("x");
+  for (const std::string& key :
+       {std::string("../evil"), std::string("a/b"), std::string(""),
+        // The in-progress temp suffix is reserved for atomic writes.
+        std::string("container-1") + std::string(FileBackend::kTmpSuffix)}) {
+    EXPECT_THROW(backend.put(key, ByteView{a.data(), a.size()}),
+                 std::invalid_argument)
+        << key;
+    EXPECT_THROW((void)backend.get(key), std::invalid_argument) << key;
+    EXPECT_THROW((void)backend.exists(key), std::invalid_argument) << key;
+    EXPECT_THROW(backend.remove(key), std::invalid_argument) << key;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendTest, UnusableDataDirRefused) {
+  // A regular file where the data directory should be: construction must
+  // fail loudly instead of scribbling next to it.
+  const auto path =
+      std::filesystem::temp_directory_path() / "sigma-fb-notadir";
+  std::filesystem::remove_all(path);
+  {
+    std::ofstream out(path);
+    out << "occupied";
+  }
+  EXPECT_THROW(FileBackend backend(path), std::filesystem::filesystem_error);
+  std::filesystem::remove_all(path);
+}
+
+TEST(FileBackendTest, PutIntoVanishedDirThrows) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "sigma-fb-vanished";
+  std::filesystem::remove_all(dir);
+  FileBackend backend(dir);
+  std::filesystem::remove_all(dir);  // yank the directory out from under it
+  const Buffer a = bytes("x");
+  EXPECT_THROW(backend.put("k", ByteView{a.data(), a.size()}),
+               std::runtime_error);
+}
+
+TEST(FileBackendTest, KeysSkipForeignDirsAndTempFiles) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "sigma-fb-foreign";
+  std::filesystem::remove_all(dir);
+  FileBackend backend(dir);
+  const Buffer a = bytes("1");
+  backend.put("container-0", ByteView{a.data(), a.size()});
+  // Foreign content dropped into the data dir by other tooling.
+  std::filesystem::create_directory(dir / "lost+found");
+  {
+    std::ofstream out(dir / "NOTES.txt");
+    out << "operator scribbles";
+  }
+  {
+    std::ofstream out(dir /
+                      ("half-written" + std::string(FileBackend::kTmpSuffix)));
+    out << "torn";
+  }
+  auto keys = backend.keys();
+  std::sort(keys.begin(), keys.end());
+  // Subdirectories and in-progress temps are not keys; foreign regular
+  // files are listed (and ignored by recovery), not silently hidden.
+  EXPECT_EQ(keys, (std::vector<std::string>{"NOTES.txt", "container-0"}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendTest, StaleTempFilesSweptOnConstruction) {
+  const auto dir = std::filesystem::temp_directory_path() / "sigma-fb-sweep";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto stale =
+      dir / ("container-7" + std::string(FileBackend::kTmpSuffix));
+  {
+    std::ofstream out(stale);
+    out << "crashed mid-put";
+  }
+  FileBackend backend(dir);
+  EXPECT_FALSE(std::filesystem::exists(stale));
+  EXPECT_TRUE(backend.keys().empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendTest, OverwriteIsAtomicReplacement) {
+  // put over an existing key goes through the same temp+rename path: the
+  // old value stays intact until the new one is complete, and afterwards
+  // only the new value is visible (no truncate-then-write window).
+  const auto dir = std::filesystem::temp_directory_path() / "sigma-fb-atomic";
+  std::filesystem::remove_all(dir);
+  FileBackend backend(dir);
+  const Buffer big = bytes("the first, much longer, value");
+  const Buffer small = bytes("v2");
+  backend.put("k", ByteView{big.data(), big.size()});
+  backend.put("k", ByteView{small.data(), small.size()});
+  EXPECT_EQ(*backend.get("k"), small);
+  EXPECT_EQ(backend.keys().size(), 1u);  // no temp residue
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileBackendTest, FsyncPolicyRoundTrips) {
+  const auto dir = std::filesystem::temp_directory_path() / "sigma-fb-fsync";
+  std::filesystem::remove_all(dir);
+  FileBackend backend(dir, /*fsync=*/true);
+  EXPECT_TRUE(backend.fsync_enabled());
+  const Buffer a = bytes("durable bytes");
+  backend.put("k", ByteView{a.data(), a.size()});
+  EXPECT_EQ(*backend.get("k"), a);
   std::filesystem::remove_all(dir);
 }
 

@@ -2,6 +2,7 @@
 // trips, metadata-only section reads.
 #include <gtest/gtest.h>
 
+#include "common/hash_util.h"
 #include "storage/container.h"
 
 namespace sigma {
@@ -127,6 +128,87 @@ TEST(ContainerTest, DeserializeRejectsTruncated) {
   Buffer blob = c.serialize();
   blob.resize(blob.size() / 2);
   EXPECT_THROW(Container::deserialize(ByteView{blob.data(), blob.size()}),
+               std::runtime_error);
+}
+
+TEST(ContainerTest, ChecksumDetectsAnySingleByteCorruption) {
+  // The on-disk frame ends in a checksum over the whole body: flipping
+  // any byte anywhere — header, metadata, payload or the checksum itself
+  // — must be detected, not silently decoded into plausible state.
+  Container c(11);
+  const Buffer a = bytes("payload-abc"), b = bytes("payload-def");
+  c.append(fp_of("a"), ByteView{a.data(), a.size()});
+  c.append(fp_of("b"), ByteView{b.data(), b.size()});
+  const Buffer blob = c.serialize();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    Buffer bad = blob;
+    bad[i] ^= 0xFF;
+    EXPECT_THROW((void)Container::deserialize(ByteView{bad.data(),
+                                                       bad.size()}),
+                 std::runtime_error)
+        << "byte " << i;
+  }
+}
+
+TEST(ContainerTest, MetadataChecksumDetectsAnySingleByteCorruption) {
+  Container c(12);
+  c.append_meta(fp_of("m"), 4096);
+  const Buffer blob = c.serialize_metadata();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    Buffer bad = blob;
+    bad[i] ^= 0xFF;
+    EXPECT_THROW(
+        (void)Container::deserialize_metadata(ByteView{bad.data(),
+                                                       bad.size()}),
+        std::runtime_error)
+        << "byte " << i;
+  }
+}
+
+TEST(ContainerTest, TruncationAtEveryLengthRejected) {
+  Container c(13);
+  const Buffer a = bytes("0123456789abcdef");
+  c.append(fp_of("t"), ByteView{a.data(), a.size()});
+  const Buffer blob = c.serialize();
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW((void)Container::deserialize(ByteView{blob.data(), len}),
+                 std::runtime_error)
+        << "length " << len;
+  }
+}
+
+TEST(ContainerTest, TrailingBytesRejected) {
+  Container c(14);
+  c.append_meta(fp_of("x"), 64);
+  Buffer blob = c.serialize();
+  blob.push_back(0x00);
+  EXPECT_THROW((void)Container::deserialize(ByteView{blob.data(),
+                                                     blob.size()}),
+               std::runtime_error);
+}
+
+TEST(ContainerTest, OversizedChunkCountRejectedBeforeAllocation) {
+  // A corrupt chunk count far beyond the bytes actually present must be
+  // refused by the codec's count validation — it must not size a huge
+  // metadata vector first. Craft a blob with count = 2^30 and nothing
+  // behind it (checksummed, so only the count lies).
+  Container c(15);
+  c.append_meta(fp_of("y"), 32);
+  Buffer blob = c.serialize();
+  // Layout: u32 magic, u32 version, u64 id, u8 payload flag, u32 count.
+  const std::size_t count_at = 4 + 4 + 8 + 1;
+  blob[count_at + 0] = 0x00;
+  blob[count_at + 1] = 0x00;
+  blob[count_at + 2] = 0x00;
+  blob[count_at + 3] = 0x40;  // little-endian 2^30
+  // Re-stamp the trailing checksum so the lying count itself — not the
+  // checksum — is what the decoder has to refuse.
+  const std::uint64_t sum = fnv1a64(ByteView{blob.data(), blob.size() - 8});
+  for (int i = 0; i < 8; ++i) {
+    blob[blob.size() - 8 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+  EXPECT_THROW((void)Container::deserialize(ByteView{blob.data(),
+                                                     blob.size()}),
                std::runtime_error);
 }
 
