@@ -6,13 +6,24 @@
 // SIGMA_BENCH_SCALE (env var, default 1.0) multiplies every dataset's
 // default bench scale; absolute dataset sizes are ~1/1000 of the paper's
 // at 1.0 (ratios are structure-driven and scale-invariant).
+// Besides the text table, a bench can emit a machine-readable result file
+// via emit_bench_json(): BENCH_<name>.json in the working directory (or
+// SIGMA_BENCH_JSON_DIR), schema
+//   {"bench": <name>, "schema": 1,
+//    "params": {<string>: <string>, …},
+//    "metrics": {<string>: <number>, …}}
+// CI parses these (scripts/check_bench_json.py) so perf numbers survive as
+// data, not just terminal scrollback.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "cluster/cluster.h"
+#include "common/json.h"
 #include "common/stats.h"
 #include "workload/dataset.h"
 #include "workload/generators.h"
@@ -31,6 +42,51 @@ inline void print_header(const std::string& title,
                          const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n";
   std::cout << "(reproduces " << paper_ref << ")\n\n";
+}
+
+/// One bench binary's machine-readable result: free-form string params
+/// (dataset, scale, node count) and numeric metrics. std::map keeps the
+/// emitted JSON key order deterministic.
+struct BenchResult {
+  std::string name;  // bench id; file becomes BENCH_<name>.json
+  std::map<std::string, std::string> params;
+  std::map<std::string, double> metrics;
+};
+
+/// Write BENCH_<name>.json (schema above) into SIGMA_BENCH_JSON_DIR or the
+/// working directory. Returns the path written, empty on I/O failure (a
+/// bench shouldn't fail its run because a result file could not be
+/// written; CI notices the missing file instead).
+inline std::string emit_bench_json(const BenchResult& result) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("SIGMA_BENCH_JSON_DIR")) {
+    if (*env) dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + result.name + ".json";
+  std::string out = "{\"bench\": " + json_quote(result.name) +
+                    ", \"schema\": 1, \"params\": {";
+  bool first = true;
+  for (const auto& [key, value] : result.params) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(key) + ": " + json_quote(value);
+  }
+  out += "}, \"metrics\": {";
+  first = true;
+  for (const auto& [key, value] : result.metrics) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(key) + ": " + json_number(value);
+  }
+  out += "}}\n";
+  std::ofstream file(path, std::ios::trunc);
+  file << out;
+  if (!file.flush()) {
+    std::cerr << "bench: could not write " << path << "\n";
+    return "";
+  }
+  std::cout << "\n[bench json: " << path << "]\n";
+  return path;
 }
 
 /// Run one trace-driven cluster simulation and report.

@@ -128,6 +128,14 @@ int main(int argc, char** argv) {
     return cfg;
   };
 
+  bench::BenchResult result;
+  result.name = "fig_probe_latency";
+  result.params["decisions"] = std::to_string(units.size());
+  result.params["super_chunk_bytes"] = std::to_string(kSuperChunkBytes);
+  result.params["transport"] = over_tcp ? "tcp" : "local";
+  result.params["nodes"] =
+      std::to_string(over_tcp ? tcp_nodes.size() : std::size_t{8});
+
   auto sweep = [&](TransportMode mode, const std::string& label) {
     for (RoutingScheme scheme : schemes) {
       double seq_us = 0.0;
@@ -141,6 +149,13 @@ int main(int argc, char** argv) {
         if (!over_tcp || !batched) cluster.backup_dataset(trace);
         const Measurement m = measure(cluster, scheme, units);
         if (!batched) seq_us = m.mean_us;
+        const std::string key = label + "." + to_string(scheme) + "." +
+                                (batched ? "batched" : "sequential");
+        result.metrics[key + ".mean_us"] = m.mean_us;
+        if (batched) {
+          result.metrics[label + "." + to_string(scheme) + ".speedup"] =
+              seq_us / m.mean_us;
+        }
         table.add_row(
             {label, to_string(scheme), batched ? "batched" : "sequential",
              std::to_string(m.decisions), TablePrinter::fmt(m.mean_us, 1),
@@ -162,5 +177,6 @@ int main(int argc, char** argv) {
                "batched = the probe plane's single scatter-gather round "
                "— over a transport, ~1 round-trip per decision instead of "
                "O(nodes))\n";
+  bench::emit_bench_json(result);
   return 0;
 }

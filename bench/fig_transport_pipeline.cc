@@ -97,11 +97,16 @@ int main(int argc, char** argv) {
   TablePrinter table({"pipeline depth", "backup MB/s", "dedup ratio",
                       "wire msgs", "wire MB"});
 
-  const std::vector<std::size_t> depths =
-      over_tcp ? std::vector<std::size_t>{tcp_depth}
-               : std::vector<std::size_t>{1, 2, 4, 8, 16};
-  double depth1_mbps = 0.0;
-  for (std::size_t depth : depths) {
+  struct DepthResult {
+    double mbps = 0.0;
+    double dedup_ratio = 0.0;
+    std::uint64_t wire_msgs = 0;
+    std::uint64_t wire_bytes = 0;
+  };
+  // One measured backup run; `metrics` attaches the client-side registry
+  // (the overhead A/B below runs the same depth with and without it).
+  auto run_depth = [&](std::size_t depth,
+                       obs::Registry* metrics) -> DepthResult {
     MiddlewareConfig cfg;
     if (over_tcp) {
       cfg.num_nodes = tcp_nodes.size();
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
     cfg.routing = RoutingScheme::kSigma;
     cfg.client.super_chunk_bytes = 256 * 1024;
     cfg.transport.pipeline_depth = depth;
+    cfg.metrics = metrics;
     SigmaDedupe dedupe(cfg);
 
     double logical_mb = 0.0;
@@ -125,16 +131,40 @@ int main(int argc, char** argv) {
     }
     dedupe.flush();
     const double seconds = timer.seconds();
-    const double mbps = logical_mb / seconds;
-    if (depth == 1) depth1_mbps = mbps;
 
-    const auto report = dedupe.report();
+    DepthResult r;
+    r.mbps = logical_mb / seconds;
+    r.dedup_ratio = dedupe.report().dedup_ratio();
     const auto net = dedupe.cluster().net_stats();
-    table.add_row({std::to_string(depth), TablePrinter::fmt(mbps, 1),
-                   TablePrinter::fmt(report.dedup_ratio(), 2),
-                   std::to_string(net.messages_sent),
+    r.wire_msgs = net.messages_sent;
+    r.wire_bytes = net.bytes_sent;
+    return r;
+  };
+
+  bench::BenchResult result;
+  result.name = "fig_transport_pipeline";
+  result.params["transport"] = over_tcp ? "tcp" : "loopback";
+  result.params["nodes"] =
+      std::to_string(over_tcp ? tcp_nodes.size() : std::size_t{8});
+  result.params["sessions"] = "3";
+  result.params["super_chunk_bytes"] = std::to_string(256 * 1024);
+
+  const std::vector<std::size_t> depths =
+      over_tcp ? std::vector<std::size_t>{tcp_depth}
+               : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  double depth1_mbps = 0.0;
+  for (std::size_t depth : depths) {
+    const DepthResult r = run_depth(depth, nullptr);
+    if (depth == 1) depth1_mbps = r.mbps;
+    const std::string key = "depth" + std::to_string(depth);
+    result.metrics[key + ".mbps"] = r.mbps;
+    result.metrics[key + ".dedup_ratio"] = r.dedup_ratio;
+    result.metrics[key + ".wire_msgs"] = static_cast<double>(r.wire_msgs);
+    table.add_row({std::to_string(depth), TablePrinter::fmt(r.mbps, 1),
+                   TablePrinter::fmt(r.dedup_ratio, 2),
+                   std::to_string(r.wire_msgs),
                    TablePrinter::fmt(
-                       static_cast<double>(net.bytes_sent) / 1e6, 1)});
+                       static_cast<double>(r.wire_bytes) / 1e6, 1)});
   }
   table.print(std::cout);
 
@@ -144,5 +174,28 @@ int main(int argc, char** argv) {
                  "semantics, baseline "
               << TablePrinter::fmt(depth1_mbps, 1) << " MB/s)\n";
   }
+
+  // Metrics-plane overhead gate: the same depth back to back, without and
+  // with the client-side registry attached. The instrumented hot paths
+  // are one branch per site when disabled and a relaxed fetch_add when
+  // enabled, so the two throughputs should agree to low single digits.
+  {
+    const std::size_t overhead_depth = over_tcp ? tcp_depth : 4;
+    const DepthResult off = run_depth(overhead_depth, nullptr);
+    obs::Registry registry;
+    const DepthResult on = run_depth(overhead_depth, &registry);
+    const double overhead_pct =
+        off.mbps > 0.0 ? (off.mbps - on.mbps) / off.mbps * 100.0 : 0.0;
+    result.metrics["metrics_off_mbps"] = off.mbps;
+    result.metrics["metrics_on_mbps"] = on.mbps;
+    result.metrics["metrics_overhead_pct"] = overhead_pct;
+    std::cout << "\nmetrics plane overhead (depth "
+              << overhead_depth << "): off "
+              << TablePrinter::fmt(off.mbps, 1) << " MB/s, on "
+              << TablePrinter::fmt(on.mbps, 1) << " MB/s ("
+              << TablePrinter::fmt(overhead_pct, 2) << "%)\n";
+  }
+
+  bench::emit_bench_json(result);
   return 0;
 }

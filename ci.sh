@@ -14,6 +14,22 @@ ctest --output-on-failure -j --test-dir build
 scripts/tcp_smoke.sh build
 scripts/persist_smoke.sh build
 
+# The two gate benches must run end-to-end (small scale) and emit valid
+# machine-readable BENCH_<name>.json documents; the pipeline bench must
+# also carry the metrics-plane overhead A/B numbers.
+BENCH_OUT="$(mktemp -d)"
+trap 'rm -rf "$BENCH_OUT"' EXIT
+SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT" \
+    ./build/bench/bench_fig_probe_latency
+SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT" \
+    ./build/bench/bench_fig_transport_pipeline
+python3 scripts/check_bench_json.py "$BENCH_OUT/BENCH_fig_probe_latency.json"
+python3 scripts/check_bench_json.py \
+    --require-metric metrics_off_mbps \
+    --require-metric metrics_on_mbps \
+    --require-metric metrics_overhead_pct \
+    "$BENCH_OUT/BENCH_fig_transport_pipeline.json"
+
 if [[ "${SIGMA_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # The transport/service stack is poll loops, pending-call handoffs and
   # shared write queues — exactly where the sanitizers earn their keep.

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json files emitted by bench::emit_bench_json().
+
+Schema (version 1):
+  {"bench": "<name>", "schema": 1,
+   "params": {"<key>": "<string>", ...},
+   "metrics": {"<key>": <finite number>, ...}}   # at least one metric
+
+Usage:
+  check_bench_json.py FILE [FILE...]
+  check_bench_json.py --require-metric NAME FILE   # NAME must be present
+
+Exits non-zero (listing every problem) if any file is missing, unparsable
+or schema-violating, so ci.sh can gate on the benches actually producing
+machine-readable results.
+"""
+import json
+import math
+import sys
+
+
+def check(path, required_metrics):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["cannot read: %s" % e]
+    except ValueError as e:
+        return ["not valid JSON: %s" % e]
+
+    if not isinstance(doc, dict):
+        return ["top level is %s, expected object" % type(doc).__name__]
+
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        problems.append('"bench" must be a non-empty string')
+    if doc.get("schema") != 1:
+        problems.append('"schema" must be 1, got %r' % doc.get("schema"))
+
+    params = doc.get("params")
+    if not isinstance(params, dict):
+        problems.append('"params" must be an object')
+    else:
+        for k, v in params.items():
+            if not isinstance(v, str):
+                problems.append('param %r must be a string, got %r' % (k, v))
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append('"metrics" must be an object')
+    else:
+        if not metrics:
+            problems.append('"metrics" is empty')
+        for k, v in metrics.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                problems.append('metric %r must be a number, got %r' % (k, v))
+            elif not math.isfinite(v):
+                problems.append('metric %r is not finite: %r' % (k, v))
+        for name in required_metrics:
+            if name not in metrics:
+                problems.append('required metric %r is missing' % name)
+
+    return problems
+
+
+def main(argv):
+    required = []
+    files = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require-metric":
+            if i + 1 >= len(argv):
+                print("check_bench_json: --require-metric needs a value",
+                      file=sys.stderr)
+                return 2
+            required.append(argv[i + 1])
+            i += 2
+        else:
+            files.append(argv[i])
+            i += 1
+    if not files:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failed = False
+    for path in files:
+        problems = check(path, required)
+        if problems:
+            failed = True
+            for p in problems:
+                print("%s: %s" % (path, p), file=sys.stderr)
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            print("%s: ok (%s, %d metrics)"
+                  % (path, doc["bench"], len(doc["metrics"])))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

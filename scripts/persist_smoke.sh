@@ -89,6 +89,30 @@ OUT=$(timeout 120 "$CLIENT" --tcp "$NODES")
 echo "$OUT"
 grep -q "(verified)" <<< "$OUT" || { echo "FAIL: restore not verified after recovery"; exit 1; }
 
+echo "== scraping the recovered fleet with fleet_stats --json"
+FLEET_STATS="$BUILD/tools/fleet_stats"
+[[ -x "$FLEET_STATS" ]] || { echo "missing $FLEET_STATS (build first)"; exit 1; }
+timeout 60 "$FLEET_STATS" --nodes "$NODES" --json > "$WORK/stats.json"
+python3 - "$WORK/stats.json" "$RECOVERED" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+expected_recovered = int(sys.argv[2])
+merged = doc["merged"]["counters"]
+served = sum(v for k, v in merged.items()
+             if k.startswith("svc.") and k.endswith(".requests_served"))
+assert served > 0, "fleet served no RPCs: %r" % merged
+assert merged.get("tcp.handshake_failures", 0) == 0, \
+    "handshake failures: %r" % merged.get("tcp.handshake_failures")
+recovered = sum(v for k, v in merged.items()
+                if k.startswith("recovery.")
+                and k.endswith(".containers_recovered"))
+assert recovered == expected_recovered, \
+    "scrape says %d containers recovered, logs said %d" \
+    % (recovered, expected_recovered)
+print("fleet_stats: %d requests served, %d containers recovered via scrape"
+      % (served, recovered))
+PY
+
 echo "== SIGTERM the fleet (clean shutdown must flush)"
 for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
 for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Multi-process smoke test: launch two node_server daemons on localhost
 # ephemeral ports (4 nodes total), run a backup + restore through them
-# over TCP with transport_cluster, and check the restore verifies.
+# over TCP with transport_cluster, check the restore verifies, and scrape
+# the fleet's metrics plane with fleet_stats --json (RPCs were served,
+# zero handshake failures).
 # Usage: scripts/tcp_smoke.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,10 +49,29 @@ OUT=$(timeout 120 "$CLIENT" --tcp "$NODES")
 echo "$OUT"
 grep -q "(verified)" <<< "$OUT" || { echo "FAIL: restore not verified"; exit 1; }
 
+echo "== scraping the live fleet with fleet_stats --json"
+FLEET_STATS="$BUILD/tools/fleet_stats"
+[[ -x "$FLEET_STATS" ]] || { echo "missing $FLEET_STATS (build first)"; exit 1; }
+timeout 60 "$FLEET_STATS" --nodes "$NODES" --json > "$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert len(doc["daemons"]) == 2, "expected 2 daemons, got %d" % len(doc["daemons"])
+merged = doc["merged"]["counters"]
+served = sum(v for k, v in merged.items()
+             if k.startswith("svc.") and k.endswith(".requests_served"))
+assert served > 0, "fleet served no RPCs: %r" % merged
+assert merged.get("tcp.handshake_failures", 0) == 0, \
+    "handshake failures: %r" % merged.get("tcp.handshake_failures")
+print("fleet_stats: %d daemons, %d requests served, 0 handshake failures"
+      % (len(doc["daemons"]), served))
+PY
+
 if [[ -x "$BENCH" ]]; then
   echo "== pipeline bench over TCP (depth 4, small scale)"
-  SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.1}" \
+  SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.1}" SIGMA_BENCH_JSON_DIR="$WORK" \
       timeout 300 "$BENCH" --tcp "$NODES" --depth 4
+  python3 scripts/check_bench_json.py "$WORK/BENCH_fig_transport_pipeline.json"
 fi
 
 echo "== tcp smoke OK"

@@ -37,7 +37,7 @@ struct Cluster::TransportRuntime {
 
   /// Loopback runtime: in-process services over the local nodes.
   TransportRuntime(std::vector<std::unique_ptr<DedupNode>>& nodes,
-                   const TransportConfig& config)
+                   const TransportConfig& config, obs::Registry* metrics)
       : timeout(config.rpc_timeout_ms),
         pipeline_depth(std::max<std::size_t>(1, config.pipeline_depth)) {
     transport = std::make_unique<net::LoopbackTransport>();
@@ -51,10 +51,17 @@ struct Cluster::TransportRuntime {
                   std::max(2u, std::thread::hardware_concurrency())));
     services.reserve(nodes.size());
     for (auto& n : nodes) {
-      services.push_back(
-          std::make_unique<service::NodeService>(*n, *transport, *pool));
+      services.push_back(std::make_unique<service::NodeService>(
+          *n, *transport, *pool, metrics,
+          "node" + std::to_string(services.size())));
+      if (metrics) {
+        // In-process fleet: every service answers kStatsSnapshot with the
+        // shared registry's view, same as a daemon would.
+        services.back()->set_snapshot_provider(
+            [metrics] { return metrics->snapshot(); });
+      }
     }
-    rpc = std::make_unique<net::RpcEndpoint>(*transport);
+    rpc = std::make_unique<net::RpcEndpoint>(*transport, metrics);
     clients.reserve(nodes.size());
     for (auto& s : services) {
       clients.push_back(std::make_unique<service::NodeClient>(
@@ -64,16 +71,17 @@ struct Cluster::TransportRuntime {
 
   /// TCP runtime: client stubs dialed at a fleet of node_server daemons
   /// described by the node map; no local nodes or services.
-  explicit TransportRuntime(const TransportConfig& config)
+  TransportRuntime(const TransportConfig& config, obs::Registry* metrics)
       : timeout(config.rpc_timeout_ms),
         pipeline_depth(std::max<std::size_t>(1, config.pipeline_depth)) {
     net::TcpTransportConfig tcp;
     tcp.endpoint_base = config.tcp_client_endpoint_base;
+    tcp.metrics = metrics;
     for (const auto& node : config.tcp_nodes) {
       tcp.remote_endpoints.emplace(node.endpoint, node.address);
     }
     transport = std::make_unique<net::TcpTransport>(std::move(tcp));
-    rpc = std::make_unique<net::RpcEndpoint>(*transport);
+    rpc = std::make_unique<net::RpcEndpoint>(*transport, metrics);
     clients.reserve(config.tcp_nodes.size());
     for (const auto& node : config.tcp_nodes) {
       clients.push_back(std::make_unique<service::NodeClient>(
@@ -209,9 +217,21 @@ Cluster::Cluster(const ClusterConfig& config)
     eb_state_.resize(config_.num_nodes);
   }
   if (config_.transport.mode == TransportMode::kLoopback) {
-    runtime_ = std::make_unique<TransportRuntime>(nodes_, config_.transport);
+    runtime_ = std::make_unique<TransportRuntime>(nodes_, config_.transport,
+                                                  config_.metrics);
   } else if (config_.transport.mode == TransportMode::kTcp) {
-    runtime_ = std::make_unique<TransportRuntime>(config_.transport);
+    runtime_ =
+        std::make_unique<TransportRuntime>(config_.transport, config_.metrics);
+  }
+  if (config_.metrics) {
+    route_us_ = &config_.metrics->histogram("route.decision_us");
+    route_probe_rounds_ = &config_.metrics->counter("route.probe_rounds");
+    route_probe_msgs_ = &config_.metrics->counter("route.probe_messages");
+    // Batched and sequential decisions are separate series so an A/B of
+    // the scatter-gather plane shows up in one merged scrape.
+    route_decisions_ = &config_.metrics->counter(
+        config_.transport.batched_probes ? "route.decisions_batched"
+                                         : "route.decisions_sequential");
   }
   views_.reserve(config_.num_nodes);
   if (runtime_) {
@@ -245,7 +265,22 @@ Cluster::~Cluster() = default;
 NodeId Cluster::route_unit(const std::vector<ChunkRecord>& unit,
                            RouteContext& ctx) {
   if (runtime_) runtime_->wait_capacity(runtime_->pipeline_depth);
-  return router_->route(unit, *probe_plane_, ctx);
+  // The timer covers only the decision itself — pipeline capacity waits
+  // (write backpressure) are excluded so the histogram reads as routing
+  // cost, not node write latency.
+  NodeId target;
+  {
+    obs::ScopedTimer timer(route_us_);
+    target = router_->route(unit, *probe_plane_, ctx);
+  }
+  if (route_decisions_) {
+    route_decisions_->inc();
+    if (ctx.pre_routing_messages > 0) {
+      route_probe_rounds_->inc();
+      route_probe_msgs_->inc(ctx.pre_routing_messages);
+    }
+  }
+  return target;
 }
 
 void Cluster::submit_write(NodeId target, StreamId stream,

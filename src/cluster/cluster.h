@@ -25,6 +25,7 @@
 #include "net/tcp/socket.h"
 #include "net/transport.h"
 #include "node/dedup_node.h"
+#include "obs/metrics.h"
 #include "routing/router.h"
 #include "workload/dataset.h"
 
@@ -95,6 +96,12 @@ struct ClusterConfig {
   /// published design). Disable to give EB exact per-node dedup (used as
   /// an ablation upper bound).
   bool eb_bin_dedup = true;
+  /// Optional metrics plane (must outlive the cluster). Instruments the
+  /// whole client-side stack — routing decisions (latency histogram,
+  /// batched/sequential counters, probe-message volume), the RPC endpoint
+  /// and, in loopback mode, the in-process node services and transport.
+  /// Null = no instrumentation beyond the existing struct counters.
+  obs::Registry* metrics = nullptr;
 };
 
 struct MessageStats {
@@ -208,6 +215,12 @@ class Cluster {
   /// the client stubs (batched pending calls) in message mode, over
   /// views_ otherwise. Fixed at construction.
   std::unique_ptr<ProbeSet> probe_plane_;
+
+  /// Cached routing instruments; null without config_.metrics.
+  obs::Histogram* route_us_ = nullptr;
+  obs::Counter* route_probe_rounds_ = nullptr;
+  obs::Counter* route_probe_msgs_ = nullptr;
+  obs::Counter* route_decisions_ = nullptr;
 
   // Extreme Binning bin store: per node, representative-fingerprint ->
   // the bin's chunk fingerprints. Approximate dedup happens against the

@@ -1,0 +1,61 @@
+// Minimal JSON emission helpers — just enough to write the metrics and
+// bench outputs without a third-party library. Emission only; parsing
+// (for CI validation) lives in scripts/check_bench_json.py.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sigma {
+
+/// Quote and escape a string for JSON output.
+inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Format a double as a JSON number (JSON has no NaN/Inf — both become 0).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string json_number(std::uint64_t v) { return std::to_string(v); }
+inline std::string json_number(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace sigma

@@ -1,13 +1,35 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace sigma {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+/// Startup default comes from SIGMA_LOG_LEVEL (debug|info|warn|error,
+/// case-insensitive); unset or unrecognized keeps the quiet kWarn default
+/// so tests and benches stay silent.
+LogLevel initial_log_level() {
+  const char* env = std::getenv("SIGMA_LOG_LEVEL");
+  if (!env) return LogLevel::kWarn;
+  std::string name;
+  for (const char* p = env; *p; ++p) {
+    name.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_log_level()};
 std::mutex g_log_mu;
 
 const char* level_name(LogLevel level) {
@@ -24,14 +46,35 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Monotonic seconds since the first log line — enough to correlate lines
+/// within one process without the cost or jumps of wall-clock time.
+double uptime_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Small stable per-thread id (t00, t01, …) in line order of first log.
+unsigned thread_log_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
+  const double t = uptime_seconds();
+  const unsigned tid = thread_log_id();
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%10.3f t%02u %-5s] ", t, tid,
+                level_name(level));
   std::lock_guard lock(g_log_mu);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  std::cerr << prefix << message << "\n";
 }
 
 }  // namespace sigma

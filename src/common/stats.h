@@ -12,7 +12,10 @@
 
 namespace sigma {
 
-/// Welford online mean / variance accumulator.
+/// Welford online mean / variance accumulator. Extremes are tracked
+/// unconditionally — min()/max() are correct for every sample fed through
+/// add() (they used to require a separate add_tracked() and silently read
+/// 0.0 otherwise).
 class RunningStats {
  public:
   void add(double x) {
@@ -20,6 +23,8 @@ class RunningStats {
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
   }
 
   std::size_t count() const { return n_; }
@@ -29,15 +34,9 @@ class RunningStats {
     return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
   }
   double stddev() const;
+  /// Meaningful only when count() > 0.
   double min() const { return min_; }
   double max() const { return max_; }
-
-  /// Also track extremes.
-  void add_tracked(double x) {
-    add(x);
-    if (n_ == 1 || x < min_) min_ = x;
-    if (n_ == 1 || x > max_) max_ = x;
-  }
 
  private:
   std::size_t n_ = 0;

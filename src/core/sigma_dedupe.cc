@@ -11,6 +11,7 @@ ClusterConfig make_cluster_config(const MiddlewareConfig& config) {
   cc.router = config.router;
   cc.node = config.node;
   cc.transport = config.transport;
+  cc.metrics = config.metrics;
   return cc;
 }
 

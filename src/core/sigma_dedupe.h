@@ -37,6 +37,9 @@ struct MiddlewareConfig {
   /// node-service transport (TransportMode::kLoopback), with configurable
   /// super-chunk write pipelining.
   TransportConfig transport;
+  /// Optional metrics plane, forwarded to the cluster (must outlive the
+  /// middleware). Null = no instrumentation.
+  obs::Registry* metrics = nullptr;
 };
 
 class SigmaDedupe {

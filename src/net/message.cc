@@ -20,6 +20,8 @@ const char* to_string(MessageType type) {
       return "Flush";
     case MessageType::kRoutingProbe:
       return "RoutingProbe";
+    case MessageType::kStatsSnapshot:
+      return "StatsSnapshot";
   }
   return "?";
 }

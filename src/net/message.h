@@ -29,13 +29,15 @@ enum class MessageType : std::uint8_t {
   kRoutingProbe,      // kind + fingerprints -> {match count, stored bytes}
                       // (fused scatter-gather probe: one message per
                       // candidate per routing decision)
+  kStatsSnapshot,     // () -> serialized obs::MetricsSnapshot (the
+                      // daemon-wide metrics scrape fleet_stats drains)
 };
 
 /// Highest valid op byte — the TCP frame decoder rejects anything above
 /// it as a protocol error. Keep in sync when appending operations, or
 /// remote peers will drop the new op's frames.
 inline constexpr std::uint8_t kMaxMessageType =
-    static_cast<std::uint8_t>(MessageType::kRoutingProbe);
+    static_cast<std::uint8_t>(MessageType::kStatsSnapshot);
 
 const char* to_string(MessageType type);
 

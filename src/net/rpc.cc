@@ -29,10 +29,16 @@ bool PendingCall::done() const {
   return state_->done;
 }
 
-RpcEndpoint::RpcEndpoint(Transport& transport)
-    : transport_(transport),
-      id_(transport.register_endpoint(
-          [this](Message&& m) { on_message(std::move(m)); })) {}
+RpcEndpoint::RpcEndpoint(Transport& transport, obs::Registry* metrics)
+    : transport_(transport) {
+  if (metrics) {
+    in_flight_ = &metrics->gauge("rpc.in_flight");
+    timeouts_ = &metrics->counter("rpc.timeouts");
+    correlation_misses_ = &metrics->counter("rpc.correlation_misses");
+  }
+  id_ = transport.register_endpoint(
+      [this](Message&& m) { on_message(std::move(m)); });
+}
 
 RpcEndpoint::~RpcEndpoint() {
   // Stop deliveries first (blocks until in-flight handlers return), then
@@ -43,6 +49,9 @@ RpcEndpoint::~RpcEndpoint() {
   {
     std::lock_guard lock(mu_);
     orphans.swap(pending_);
+  }
+  if (in_flight_ && !orphans.empty()) {
+    in_flight_->sub(static_cast<std::int64_t>(orphans.size()));
   }
   for (auto& [cid, state] : orphans) {
     std::lock_guard lock(state->mu);
@@ -69,6 +78,7 @@ PendingCall RpcEndpoint::call(EndpointId dst, MessageType type, Buffer body) {
     state->correlation_id = m.correlation_id;
     pending_.emplace(m.correlation_id, state);
   }
+  if (in_flight_) in_flight_->add(1);
   transport_.send(std::move(m));
   return PendingCall(this, std::move(state));
 }
@@ -115,11 +125,13 @@ void RpcEndpoint::on_message(Message&& m) {
     auto it = pending_.find(m.correlation_id);
     if (it == pending_.end()) {
       ++late_responses_;  // abandoned by a timeout, or a stray correlation
+      if (correlation_misses_) correlation_misses_->inc();
       return;
     }
     state = it->second;
     pending_.erase(it);
   }
+  if (in_flight_) in_flight_->sub(1);
   {
     std::lock_guard lock(state->mu);
     state->done = true;
@@ -134,8 +146,15 @@ void RpcEndpoint::on_message(Message&& m) {
 }
 
 void RpcEndpoint::abandon(std::uint64_t correlation_id) {
-  std::lock_guard lock(mu_);
-  pending_.erase(correlation_id);
+  bool erased = false;
+  {
+    std::lock_guard lock(mu_);
+    erased = pending_.erase(correlation_id) > 0;
+  }
+  // Only a real abandonment is a timeout; when the response raced the
+  // expiry, on_message() already settled (and un-gauged) the call.
+  if (erased && timeouts_) timeouts_->inc();
+  if (erased && in_flight_) in_flight_->sub(1);
 }
 
 std::size_t RpcEndpoint::pending_count() const {

@@ -24,6 +24,7 @@
 
 #include "net/message.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace sigma::net {
 
@@ -79,8 +80,11 @@ class PendingCall {
 class RpcEndpoint {
  public:
   /// Binds a fresh endpoint on `transport`. The endpoint must not outlive
-  /// the transport, and PendingCalls must not outlive the endpoint.
-  explicit RpcEndpoint(Transport& transport);
+  /// the transport (nor `metrics`, when given), and PendingCalls must not
+  /// outlive the endpoint. With a registry the endpoint maintains an
+  /// in-flight gauge plus timeout / correlation-miss counters.
+  explicit RpcEndpoint(Transport& transport,
+                       obs::Registry* metrics = nullptr);
   ~RpcEndpoint();
 
   RpcEndpoint(const RpcEndpoint&) = delete;
@@ -114,7 +118,11 @@ class RpcEndpoint {
   void abandon(std::uint64_t correlation_id);
 
   Transport& transport_;
-  EndpointId id_;
+  /// Cached instruments; null without a registry.
+  obs::Gauge* in_flight_ = nullptr;
+  obs::Counter* timeouts_ = nullptr;
+  obs::Counter* correlation_misses_ = nullptr;
+  EndpointId id_ = 0;
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingCall::State>>
       pending_;

@@ -33,8 +33,9 @@ class FrameError : public std::runtime_error {
 inline constexpr std::uint32_t kFrameMagic = 0x314D4753;
 /// Bump whenever the wire contract changes (new ops, header layout), so
 /// mixed-version peers fail fast at the handshake instead of dying on
-/// the first unknown frame. v2: fused kRoutingProbe op.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// the first unknown frame. v2: fused kRoutingProbe op. v3: kStatsSnapshot
+/// metrics scrape.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Peer roles exchanged in the HELLO (informational, for diagnostics).
 enum class PeerRole : std::uint8_t { kClient = 0, kServer = 1 };

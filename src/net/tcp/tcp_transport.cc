@@ -28,6 +28,20 @@ Message header_of(const Message& m) {
 
 TcpTransport::TcpTransport(TcpTransportConfig config)
     : config_(std::move(config)), next_id_(config_.endpoint_base) {
+  if (config_.metrics) {
+    for (std::uint8_t op = 0; op <= kMaxMessageType; ++op) {
+      rpc_us_[op] = &config_.metrics->histogram(
+          std::string("tcp.rpc_us.") +
+          to_string(static_cast<MessageType>(op)));
+    }
+    m_connects_ = &config_.metrics->counter("tcp.connects");
+    m_reconnects_ = &config_.metrics->counter("tcp.reconnects");
+    m_handshake_failures_ =
+        &config_.metrics->counter("tcp.handshake_failures");
+    m_backpressure_stalls_ =
+        &config_.metrics->counter("tcp.backpressure_stalls");
+    m_write_queue_bytes_ = &config_.metrics->gauge("tcp.write_queue_bytes");
+  }
   if (config_.listen) {
     listen_fd_ = tcp_listen(*config_.listen);
     listen_port_ = bound_port(listen_fd_.get());
@@ -211,6 +225,10 @@ void TcpTransport::send(Message&& m) {
         }
         conn->outbox_bytes += frame.size();
         conn->outbox.push_back(std::move(frame));
+        if (m_write_queue_bytes_) {
+          m_write_queue_bytes_->set(
+              static_cast<std::int64_t>(conn->outbox_bytes));
+        }
       } else {
         ++stats_.dropped;
       }
@@ -265,6 +283,10 @@ void TcpTransport::send(Message&& m) {
   // failed (the loop owns the fd), so this always unblocks.
   if (!on_loop_thread()) {
     std::unique_lock lock(mu_);
+    if (m_backpressure_stalls_ && !stopping_ &&
+        conn->outbox_bytes > config_.write_high_watermark) {
+      m_backpressure_stalls_->inc();
+    }
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(config_.write_stall_timeout_ms);
@@ -451,6 +473,11 @@ void TcpTransport::loop_accept() {
 }
 
 void TcpTransport::loop_dial(const ConnPtr& conn) {
+  if (m_connects_) m_connects_->inc();
+  if (m_reconnects_ && conn->was_established) {
+    m_reconnects_->inc();
+    conn->was_established = false;
+  }
   try {
     bool in_progress = false;
     SocketFd fd = tcp_connect_start(conn->address, in_progress);
@@ -661,12 +688,14 @@ void TcpTransport::loop_readable(const ConnPtr& conn) {
           std::lock_guard lock(mu_);
           ++tcp_stats_.protocol_errors;
         }
+        if (m_handshake_failures_) m_handshake_failures_->inc();
         close_conn(conn, e.what());
         return;
       }
       std::lock_guard lock(mu_);
       conn->state = Conn::State::kEstablished;
       conn->attempts = 0;
+      conn->was_established = true;
       ++tcp_stats_.connections_established;
       // Flushing queued frames + the rest of this read happen below.
     }
@@ -711,7 +740,13 @@ void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
     }
     if (m.kind != MessageKind::kRequest) {
       // The response's destination is the endpoint that issued the call.
-      conn->awaiting_response.erase({m.dst, m.correlation_id});
+      auto it = conn->awaiting_response.find({m.dst, m.correlation_id});
+      if (it != conn->awaiting_response.end()) {
+        // Whole-RPC latency: local send() to response frame decoded.
+        obs::Histogram* h = rpc_us_[static_cast<std::uint8_t>(m.type)];
+        if (h) h->observe_since(it->second.queued_at);
+        conn->awaiting_response.erase(it);
+      }
     }
     // Learn the return route for the peer's endpoint (how responses to a
     // remote client find their way back out). The first registration

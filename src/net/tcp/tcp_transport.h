@@ -53,6 +53,7 @@
 #include "net/tcp/frame.h"
 #include "net/tcp/socket.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace sigma::net {
 
@@ -104,6 +105,13 @@ struct TcpTransportConfig {
   /// the server never saw). While the owner is fresher than this, a
   /// different claimant is a collision and is refused.
   std::uint32_t route_stale_ms = 15000;
+
+  /// Optional metrics plane (must outlive the transport). Adds per-op
+  /// RPC latency histograms (send to response), connect / handshake
+  /// counters, backpressure-stall counts and a write-queue depth gauge
+  /// with high-water tracking. Null = zero instrumentation beyond the
+  /// existing struct counters.
+  obs::Registry* metrics = nullptr;
 };
 
 /// TCP-specific counters on top of NetStats.
@@ -195,6 +203,10 @@ class TcpTransport final : public Transport {
     /// defends its learned routes against takeover.
     std::chrono::steady_clock::time_point last_frame_at{};
 
+    /// Whether this connection ever completed a handshake — a later dial
+    /// of the same Conn is a reconnect, not a first connect (metrics).
+    bool was_established = false;
+
     /// Set by a producer whose backpressure wait timed out; the loop
     /// fails the connection (it owns the fd).
     bool stalled = false;
@@ -248,6 +260,16 @@ class TcpTransport final : public Transport {
 
   NetStats stats_;
   TcpTransportStats tcp_stats_;
+
+  /// Cached instruments (null without config_.metrics). RPC latency is
+  /// measured send() -> response dispatch, per op, against the tracking
+  /// entries in Conn::awaiting_response.
+  obs::Histogram* rpc_us_[kMaxMessageType + 1] = {};
+  obs::Counter* m_connects_ = nullptr;
+  obs::Counter* m_reconnects_ = nullptr;
+  obs::Counter* m_handshake_failures_ = nullptr;
+  obs::Counter* m_backpressure_stalls_ = nullptr;
+  obs::Gauge* m_write_queue_bytes_ = nullptr;
 
   SocketFd listen_fd_;
   std::uint16_t listen_port_ = 0;

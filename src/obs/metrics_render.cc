@@ -1,0 +1,101 @@
+#include "obs/metrics_render.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace sigma::obs {
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+void append_padded(std::string& out, const std::string& text,
+                   std::size_t width) {
+  out += text;
+  for (std::size_t i = text.size(); i < width; ++i) out.push_back(' ');
+}
+
+}  // namespace
+
+std::string render_text(const MetricsSnapshot& snap) {
+  std::size_t name_width = 0;
+  for (const auto& c : snap.counters)
+    name_width = std::max(name_width, c.name.size());
+  for (const auto& g : snap.gauges)
+    name_width = std::max(name_width, g.name.size());
+  for (const auto& h : snap.histograms)
+    name_width = std::max(name_width, h.name.size());
+  name_width += 2;
+
+  std::string out;
+  for (const auto& c : snap.counters) {
+    append_padded(out, "counter   ", 10);
+    append_padded(out, c.name, name_width);
+    out += std::to_string(c.value);
+    out.push_back('\n');
+  }
+  for (const auto& g : snap.gauges) {
+    append_padded(out, "gauge     ", 10);
+    append_padded(out, g.name, name_width);
+    out += std::to_string(g.value);
+    out += "  high=";
+    out += std::to_string(g.high_water);
+    out.push_back('\n');
+  }
+  for (const auto& h : snap.histograms) {
+    append_padded(out, "histogram ", 10);
+    append_padded(out, h.name, name_width);
+    out += "count=" + std::to_string(h.count);
+    if (h.count > 0) {
+      out += "  mean=" + format_double(h.mean());
+      out += "  p50=" + format_double(h.percentile(0.50));
+      out += "  p95=" + format_double(h.percentile(0.95));
+      out += "  p99=" + format_double(h.percentile(0.99));
+      out += "  min=" + std::to_string(h.min);
+      out += "  max=" + std::to_string(h.max);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(c.name) + ": " + std::to_string(c.value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(g.name) + ": {\"value\": " + std::to_string(g.value) +
+           ", \"high_water\": " + std::to_string(g.high_water) + "}";
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(h.name) + ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"min\": " + std::to_string(h.count > 0 ? h.min : 0) +
+           ", \"max\": " + std::to_string(h.max) +
+           ", \"mean\": " + json_number(h.mean()) +
+           ", \"p50\": " + json_number(h.percentile(0.50)) +
+           ", \"p95\": " + json_number(h.percentile(0.95)) +
+           ", \"p99\": " + json_number(h.percentile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sigma::obs

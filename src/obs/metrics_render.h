@@ -1,0 +1,26 @@
+// Human- and machine-readable renderings of a MetricsSnapshot: the
+// aligned text table node_server dumps on SIGUSR1/shutdown and
+// fleet_stats prints by default, and the JSON document fleet_stats
+// --json emits for scripts.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sigma::obs {
+
+/// Aligned text table, one instrument per line:
+///   counter   net.requests                 1234
+///   gauge     svc.node0.inbox_depth        0         high=17
+///   histogram tcp.rpc_us.WriteSuperChunk   count=56  mean=812.4 p50=…
+std::string render_text(const MetricsSnapshot& snap);
+
+/// One JSON object:
+///   {"counters": {name: value, …},
+///    "gauges": {name: {"value": v, "high_water": h}, …},
+///    "histograms": {name: {"count": …, "sum": …, "min": …, "max": …,
+///                          "mean": …, "p50": …, "p95": …, "p99": …}, …}}
+std::string render_json(const MetricsSnapshot& snap);
+
+}  // namespace sigma::obs

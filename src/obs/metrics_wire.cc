@@ -1,0 +1,104 @@
+#include "obs/metrics_wire.h"
+
+#include "net/wire.h"
+
+namespace sigma::obs {
+namespace {
+
+using net::WireError;
+using net::WireReader;
+using net::WireWriter;
+
+// Smallest possible encodings, used to validate counts against the bytes
+// actually present before any allocation is sized.
+constexpr std::size_t kMinCounterBytes = 4 + 8;        // empty name + value
+constexpr std::size_t kMinGaugeBytes = 4 + 8 + 8;      // name + value + hw
+constexpr std::size_t kMinHistogramBytes = 4 + 8 * 4 + 4;  // header + count
+
+void put_name(WireWriter& w, const std::string& name) {
+  w.bytes(as_bytes(name));
+}
+
+std::string take_name(WireReader& r) {
+  const ByteView v = r.bytes();
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+}  // namespace
+
+Buffer encode_metrics_snapshot(const MetricsSnapshot& s) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(s.counters.size()));
+  for (const auto& c : s.counters) {
+    put_name(w, c.name);
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(s.gauges.size()));
+  for (const auto& g : s.gauges) {
+    put_name(w, g.name);
+    w.u64(static_cast<std::uint64_t>(g.value));
+    w.u64(static_cast<std::uint64_t>(g.high_water));
+  }
+  w.u32(static_cast<std::uint32_t>(s.histograms.size()));
+  for (const auto& h : s.histograms) {
+    put_name(w, h.name);
+    w.u64(h.count);
+    w.u64(h.sum);
+    w.u64(h.min);
+    w.u64(h.max);
+    w.u32(static_cast<std::uint32_t>(h.buckets.size()));
+    for (const std::uint64_t b : h.buckets) w.u64(b);
+  }
+  return w.take();
+}
+
+MetricsSnapshot decode_metrics_snapshot(ByteView body) {
+  WireReader r(body);
+  MetricsSnapshot s;
+
+  const std::uint32_t n_counters = r.count(kMinCounterBytes);
+  s.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    CounterSnapshot c;
+    c.name = take_name(r);
+    c.value = r.u64();
+    s.counters.push_back(std::move(c));
+  }
+
+  const std::uint32_t n_gauges = r.count(kMinGaugeBytes);
+  s.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    GaugeSnapshot g;
+    g.name = take_name(r);
+    g.value = static_cast<std::int64_t>(r.u64());
+    g.high_water = static_cast<std::int64_t>(r.u64());
+    s.gauges.push_back(std::move(g));
+  }
+
+  const std::uint32_t n_hists = r.count(kMinHistogramBytes);
+  s.histograms.reserve(n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    HistogramSnapshot h;
+    h.name = take_name(r);
+    h.count = r.u64();
+    h.sum = r.u64();
+    h.min = r.u64();
+    h.max = r.u64();
+    const std::uint32_t n_buckets = r.count(sizeof(std::uint64_t));
+    if (n_buckets > Histogram::kBuckets) {
+      throw WireError("metrics: histogram bucket count " +
+                      std::to_string(n_buckets) + " exceeds " +
+                      std::to_string(Histogram::kBuckets));
+    }
+    h.buckets.reserve(n_buckets);
+    for (std::uint32_t b = 0; b < n_buckets; ++b) {
+      h.buckets.push_back(r.u64());
+    }
+    s.histograms.push_back(std::move(h));
+  }
+
+  r.expect_done();
+  return s;
+}
+
+}  // namespace sigma::obs

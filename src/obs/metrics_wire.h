@@ -1,0 +1,15 @@
+// Wire codec for shipping a MetricsSnapshot through the kStatsSnapshot
+// operation: the same bounds-checked little-endian encoding as every other
+// message body (net/wire.h), so a corrupt or hostile peer raises WireError
+// instead of sizing a huge allocation. Decode(encode(s)) == s.
+#pragma once
+
+#include "common/bytes.h"
+#include "obs/metrics.h"
+
+namespace sigma::obs {
+
+Buffer encode_metrics_snapshot(const MetricsSnapshot& snapshot);
+MetricsSnapshot decode_metrics_snapshot(ByteView body);
+
+}  // namespace sigma::obs

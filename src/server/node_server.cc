@@ -13,13 +13,14 @@ namespace {
 /// manifest against the node's identity — refusing a directory written by
 /// another node, endpoint or format version — and (re)writes it.
 std::unique_ptr<StorageBackend> open_file_backend(
-    const NodeServerConfig& config, std::size_t i) {
+    const NodeServerConfig& config, std::size_t i, obs::Registry* metrics) {
   if (config.data_dir.empty()) {
     throw std::invalid_argument(
         "NodeServer: file backend requires a data directory");
   }
   auto backend = std::make_unique<FileBackend>(
-      config.data_dir / ("node-" + std::to_string(i)), config.fsync);
+      config.data_dir / ("node-" + std::to_string(i)), config.fsync, metrics,
+      "node" + std::to_string(i));
   const std::uint64_t endpoint =
       config.first_endpoint + static_cast<net::EndpointId>(i);
   if (const auto stored = load_manifest(*backend)) {
@@ -47,7 +48,8 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
   for (std::size_t i = 0; i < config_.num_nodes; ++i) {
     if (config_.backend == BackendKind::kFile) {
       nodes_.push_back(std::make_unique<DedupNode>(
-          static_cast<NodeId>(i), config_.node, open_file_backend(config_, i)));
+          static_cast<NodeId>(i), config_.node,
+          open_file_backend(config_, i, &registry_)));
       nodes_.back()->rebuild_indexes();
       recoveries_.push_back(nodes_.back()->last_recovery());
     } else {
@@ -61,6 +63,7 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
   tcp.listen = config_.listen;
   tcp.endpoint_base = config_.first_endpoint;
   tcp.max_body_bytes = config_.max_body_bytes;
+  tcp.metrics = &registry_;
   transport_ = std::make_unique<net::TcpTransport>(std::move(tcp));
   config_.listen.port = transport_->listen_port();
 
@@ -78,8 +81,87 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
   services_.reserve(config_.num_nodes);
   for (auto& node : nodes_) {
     services_.push_back(std::make_unique<service::NodeService>(
-        *node, *transport_, *pool_));
+        *node, *transport_, *pool_, &registry_,
+        "node" + std::to_string(services_.size())));
+    // Every endpoint of this daemon answers a stats scrape with the same
+    // daemon-wide view (fleet_stats dedupes daemons by address).
+    services_.back()->set_snapshot_provider(
+        [this] { return metrics_snapshot(); });
   }
+}
+
+obs::MetricsSnapshot NodeServer::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = registry_.snapshot();
+
+  const net::NetStats net = transport_->stats();
+  snap.add_counter("net.messages_sent", net.messages_sent);
+  snap.add_counter("net.bytes_sent", net.bytes_sent);
+  snap.add_counter("net.requests", net.requests);
+  snap.add_counter("net.responses", net.responses);
+  snap.add_counter("net.errors", net.errors);
+  snap.add_counter("net.dropped", net.dropped);
+
+  const net::TcpTransportStats tcp = transport_->tcp_stats();
+  snap.add_counter("tcp.connections_accepted", tcp.connections_accepted);
+  snap.add_counter("tcp.connections_established", tcp.connections_established);
+  snap.add_counter("tcp.connect_failures", tcp.connect_failures);
+  snap.add_counter("tcp.connections_lost", tcp.connections_lost);
+  snap.add_counter("tcp.protocol_errors", tcp.protocol_errors);
+  snap.add_counter("tcp.frames_received", tcp.frames_received);
+  snap.add_counter("tcp.bytes_received", tcp.bytes_received);
+  snap.add_counter("tcp.bounced_requests", tcp.bounced_requests);
+  snap.add_counter("tcp.route_conflicts", tcp.route_conflicts);
+  snap.add_counter("tcp.route_takeovers", tcp.route_takeovers);
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const std::string node = "node" + std::to_string(i);
+
+    if (i < services_.size()) {  // flush() retires the services
+      const service::NodeServiceStats svc = services_[i]->stats();
+      snap.add_counter("svc." + node + ".requests_served",
+                       svc.requests_served);
+      snap.add_counter("svc." + node + ".errors_returned",
+                       svc.errors_returned);
+      snap.add_counter("svc." + node + ".drain_runs", svc.drain_runs);
+      snap.add_counter("svc." + node + ".fast_requests_served",
+                       svc.fast_requests_served);
+      snap.add_counter("svc." + node + ".fast_drain_runs",
+                       svc.fast_drain_runs);
+    }
+
+    const DedupNodeStats ns = nodes_.at(i)->stats();
+    snap.add_counter("node." + node + ".logical_bytes", ns.logical_bytes);
+    snap.add_counter("node." + node + ".physical_bytes", ns.physical_bytes);
+    snap.add_counter("node." + node + ".super_chunks", ns.super_chunks);
+    snap.add_counter("node." + node + ".duplicate_chunks",
+                     ns.duplicate_chunks);
+    snap.add_counter("node." + node + ".unique_chunks", ns.unique_chunks);
+    snap.add_counter("node." + node + ".disk_index_lookups",
+                     ns.disk_index_lookups);
+    snap.add_counter("node." + node + ".disk_lookups_avoided_by_bloom",
+                     ns.disk_lookups_avoided_by_bloom);
+    snap.add_counter("node." + node + ".container_prefetches",
+                     ns.container_prefetches);
+
+    const IoStats io = nodes_.at(i)->backend().stats();
+    snap.add_counter("store." + node + ".reads", io.reads);
+    snap.add_counter("store." + node + ".writes", io.writes);
+    snap.add_counter("store." + node + ".bytes_read", io.bytes_read);
+    snap.add_counter("store." + node + ".bytes_written", io.bytes_written);
+
+    const RecoveryReport& rec = recoveries_.at(i);
+    snap.add_counter("recovery." + node + ".containers_recovered",
+                     rec.containers_recovered);
+    snap.add_counter("recovery." + node + ".containers_skipped",
+                     rec.containers_skipped);
+    snap.add_counter("recovery." + node + ".sidecars_repaired",
+                     rec.sidecars_repaired);
+    snap.add_counter("recovery." + node + ".chunks_recovered",
+                     rec.chunks_recovered);
+    snap.add_counter("recovery." + node + ".bytes_recovered",
+                     rec.bytes_recovered);
+  }
+  return snap;
 }
 
 void NodeServer::flush() {

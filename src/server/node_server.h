@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "net/tcp/tcp_transport.h"
 #include "node/dedup_node.h"
+#include "obs/metrics.h"
 #include "service/node_service.h"
 
 namespace sigma::server {
@@ -97,9 +98,22 @@ class NodeServer {
   net::NetStats net_stats() const { return transport_->stats(); }
   net::TcpTransportStats tcp_stats() const { return transport_->tcp_stats(); }
 
+  /// The daemon-wide metrics registry (transport, services, backends all
+  /// record into it).
+  obs::Registry& metrics() { return registry_; }
+
+  /// Daemon-wide observability readout: the live registry plus every
+  /// legacy struct counter (transport, per-node service / storage /
+  /// dedup / recovery stats) folded in under stable names. This is what
+  /// a kStatsSnapshot request — and SIGUSR1 / shutdown dumps — report.
+  obs::MetricsSnapshot metrics_snapshot() const;
+
  private:
   NodeServerConfig config_;
   std::vector<RecoveryReport> recoveries_;
+  /// Declared before everything that records into it: instruments must
+  /// outlive the transport loop, services and backends.
+  obs::Registry registry_;
   // Teardown order (reverse of declaration): services unbind first, then
   // the pool joins, then the transport stops its event loop.
   std::unique_ptr<net::TcpTransport> transport_;

@@ -1,6 +1,7 @@
 #include "service/node_service.h"
 
 #include "net/wire.h"
+#include "obs/metrics_wire.h"
 #include "service/wire_protocol.h"
 
 namespace sigma::service {
@@ -10,12 +11,23 @@ using net::MessageKind;
 using net::MessageType;
 
 NodeService::NodeService(DedupNode& node, net::Transport& transport,
-                         ThreadPool& pool)
-    : node_(node),
-      transport_(transport),
-      pool_(pool),
-      endpoint_(transport.register_endpoint(
-          [this](Message&& m) { enqueue(std::move(m)); })) {}
+                         ThreadPool& pool, obs::Registry* metrics,
+                         const std::string& label)
+    : node_(node), transport_(transport), pool_(pool) {
+  // Instruments are cached before the endpoint exists: a TCP peer can
+  // address a fresh endpoint id the moment the listener accepts it.
+  if (metrics) {
+    const std::string prefix =
+        label.empty() ? std::string("svc.") : "svc." + label + ".";
+    depth_gauge_ = &metrics->gauge(prefix + "inbox_depth");
+    for (std::uint8_t op = 0; op <= net::kMaxMessageType; ++op) {
+      op_time_us_[op] = &metrics->histogram(
+          prefix + "op_us." + to_string(static_cast<MessageType>(op)));
+    }
+  }
+  endpoint_ = transport.register_endpoint(
+      [this](Message&& m) { enqueue(std::move(m)); });
+}
 
 NodeService::~NodeService() {
   // Stop deliveries (blocks until in-flight enqueues return), then wait
@@ -38,6 +50,7 @@ bool NodeService::is_fast_lane(MessageType type) {
     case MessageType::kDuplicateTest:
     case MessageType::kReadChunk:
     case MessageType::kStoredBytes:
+    case MessageType::kStatsSnapshot:
       return true;
     case MessageType::kWriteSuperChunk:
     case MessageType::kFlush:
@@ -46,10 +59,18 @@ bool NodeService::is_fast_lane(MessageType type) {
   return false;
 }
 
+void NodeService::observe_depth() {
+  if (depth_gauge_) {
+    depth_gauge_->set(
+        static_cast<std::int64_t>(inbox_.size() + fast_inbox_.size()));
+  }
+}
+
 void NodeService::enqueue(Message&& m) {
   const bool fast = m.kind == MessageKind::kRequest && is_fast_lane(m.type);
   auto& lane = fast ? fast_inbox_ : inbox_;
   if (!lane.push(std::move(m))) return;  // shutting down
+  observe_depth();
   std::lock_guard lock(mu_);
   bool& arming = fast ? fast_draining_ : draining_;
   if (!arming) {
@@ -68,11 +89,14 @@ void NodeService::drain(bool fast) {
   while (true) {
     auto m = lane.try_pop();
     if (!m) break;
+    observe_depth();
     Message response;
     {
       // One request at a time against the node, across both lanes. A
       // probe waits out at most the write in progress, never the queue.
       std::lock_guard node_lock(node_mu_);
+      obs::ScopedTimer timer(
+          op_time_us_[static_cast<std::uint8_t>(m->type)]);
       response = handle(*m);
     }
     {
@@ -174,6 +198,14 @@ Message NodeService::handle(const Message& request) {
       case MessageType::kFlush: {
         node_.flush();
         return Message::response_to(request, Buffer{});
+      }
+      case MessageType::kStatsSnapshot: {
+        // The provider covers the whole hosting process; every endpoint
+        // of a daemon answers with the same daemon-wide snapshot.
+        return Message::response_to(
+            request, obs::encode_metrics_snapshot(
+                         snapshot_provider_ ? snapshot_provider_()
+                                            : obs::MetricsSnapshot{}));
       }
     }
     return Message::error_to(request, "service: unknown operation");

@@ -24,13 +24,16 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "net/channel.h"
 #include "net/message.h"
 #include "net/transport.h"
 #include "node/dedup_node.h"
+#include "obs/metrics.h"
 
 namespace sigma::service {
 
@@ -45,9 +48,19 @@ struct NodeServiceStats {
 
 class NodeService {
  public:
+  /// Answers a kStatsSnapshot request. The hosting process (NodeServer,
+  /// Cluster) installs one that covers the whole process — transport,
+  /// every node, storage — so scraping any endpoint yields the full
+  /// process view; without one the service answers with just its own
+  /// registry-backed metrics (empty if no registry either).
+  using SnapshotProvider = std::function<obs::MetricsSnapshot()>;
+
   /// Binds the node on `transport` and serves it from `pool`. The node,
-  /// transport and pool must outlive the service.
-  NodeService(DedupNode& node, net::Transport& transport, ThreadPool& pool);
+  /// transport and pool must outlive the service (as must `metrics` when
+  /// given). `label` tags this service's metric names (e.g. "node0"), so
+  /// per-node series survive a fleet-wide merge.
+  NodeService(DedupNode& node, net::Transport& transport, ThreadPool& pool,
+              obs::Registry* metrics = nullptr, const std::string& label = {});
 
   /// Unbinds the endpoint and waits for the in-flight drain to finish.
   ~NodeService();
@@ -62,6 +75,12 @@ class NodeService {
 
   NodeServiceStats stats() const;
 
+  /// Install the process-wide stats provider (see SnapshotProvider).
+  /// Call before traffic arrives; the provider must be thread-safe.
+  void set_snapshot_provider(SnapshotProvider provider) {
+    snapshot_provider_ = std::move(provider);
+  }
+
  private:
   /// Read-only operations ride the probe fast lane.
   static bool is_fast_lane(net::MessageType type);
@@ -69,11 +88,19 @@ class NodeService {
   void enqueue(net::Message&& m);
   void drain(bool fast);
   net::Message handle(const net::Message& request);
+  void observe_depth();
 
   DedupNode& node_;
   net::Transport& transport_;
   ThreadPool& pool_;
-  net::EndpointId endpoint_;
+  SnapshotProvider snapshot_provider_;
+
+  /// Cached instruments (null without a registry): inbox depth across
+  /// both lanes, and per-op service time (decode + execute + encode).
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Histogram* op_time_us_[net::kMaxMessageType + 1] = {};
+
+  net::EndpointId endpoint_ = 0;
 
   /// Serializes DedupNode access across the two lanes.
   std::mutex node_mu_;

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -77,8 +78,15 @@ void fsync_path(const std::filesystem::path& path, bool directory) {
 
 }  // namespace
 
-FileBackend::FileBackend(std::filesystem::path dir, bool fsync)
+FileBackend::FileBackend(std::filesystem::path dir, bool fsync,
+                         obs::Registry* metrics, const std::string& label)
     : dir_(std::move(dir)), fsync_(fsync) {
+  if (metrics) {
+    const std::string prefix =
+        label.empty() ? std::string("store.") : "store." + label + ".";
+    put_us_ = &metrics->histogram(prefix + "put_us");
+    fsync_us_ = &metrics->histogram(prefix + "fsync_us");
+  }
   std::filesystem::create_directories(dir_);
   // A crashed writer can leave *.inprogress temps behind; they were never
   // visible as keys and must not become visible now.
@@ -103,6 +111,8 @@ std::filesystem::path FileBackend::path_for(const std::string& key) const {
 }
 
 void FileBackend::put(const std::string& key, ByteView data) {
+  obs::ScopedTimer put_timer(put_us_);
+  std::uint64_t fsync_us = 0;
   const auto path = path_for(key);
   // The slow phase — writing and (optionally) fsyncing the payload —
   // happens on a per-call temp file OUTSIDE mu_, so a multi-millisecond
@@ -127,12 +137,19 @@ void FileBackend::put(const std::string& key, ByteView data) {
     }
     written += static_cast<std::size_t>(n);
   }
-  if (fsync_ && ::fsync(fd) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    std::filesystem::remove(tmp);
-    errno = saved;
-    throw_errno("fsync failed", tmp);
+  if (fsync_) {
+    const auto fsync_start = std::chrono::steady_clock::now();
+    if (::fsync(fd) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      std::filesystem::remove(tmp);
+      errno = saved;
+      throw_errno("fsync failed", tmp);
+    }
+    fsync_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - fsync_start)
+            .count());
   }
   if (::close(fd) != 0) {
     std::filesystem::remove(tmp);
@@ -149,8 +166,16 @@ void FileBackend::put(const std::string& key, ByteView data) {
       throw std::runtime_error("FileBackend: rename failed: " +
                                path.string() + ": " + ec.message());
     }
-    if (fsync_) fsync_path(dir_, /*directory=*/true);
+    if (fsync_) {
+      const auto fsync_start = std::chrono::steady_clock::now();
+      fsync_path(dir_, /*directory=*/true);
+      fsync_us += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - fsync_start)
+              .count());
+    }
   }
+  if (fsync_ && fsync_us_) fsync_us_->observe(fsync_us);
   record_write(data.size());
 }
 

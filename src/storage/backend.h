@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace sigma {
 
@@ -89,7 +90,13 @@ class MemoryBackend final : public StorageBackend {
 /// sealed container survives power loss, not just process death.
 class FileBackend final : public StorageBackend {
  public:
-  explicit FileBackend(std::filesystem::path dir, bool fsync = false);
+  /// With a registry (must outlive the backend) each put records its
+  /// whole-call latency (`store.[<label>.]put_us`) and, when fsync is
+  /// enabled, the durability portion — payload fsync plus directory
+  /// fsync — separately (`store.[<label>.]fsync_us`).
+  explicit FileBackend(std::filesystem::path dir, bool fsync = false,
+                       obs::Registry* metrics = nullptr,
+                       const std::string& label = {});
 
   void put(const std::string& key, ByteView data) override;
   std::optional<Buffer> get(const std::string& key) override;
@@ -109,6 +116,9 @@ class FileBackend final : public StorageBackend {
 
   std::filesystem::path dir_;
   const bool fsync_;
+  /// Cached instruments; null without a registry.
+  obs::Histogram* put_us_ = nullptr;
+  obs::Histogram* fsync_us_ = nullptr;
   /// Makes each put's temp file unique, so the slow write+fsync phase
   /// runs outside mu_ without two puts ever sharing a temp path.
   std::atomic<std::uint64_t> tmp_seq_{0};

@@ -118,13 +118,20 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
 }
 
-TEST(RunningStatsTest, TrackedExtremes) {
+TEST(RunningStatsTest, ExtremesTrackedByPlainAdd) {
   RunningStats s;
-  s.add_tracked(5.0);
-  s.add_tracked(-1.0);
-  s.add_tracked(10.0);
+  s.add(5.0);
+  s.add(-1.0);
+  s.add(10.0);
   EXPECT_EQ(s.min(), -1.0);
   EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStatsTest, ExtremesWithSingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
 }
 
 TEST(FormatTest, Bytes) {

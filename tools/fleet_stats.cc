@@ -1,0 +1,142 @@
+// Scrape the metrics plane of a running node_server fleet.
+//
+//   $ fleet_stats --nodes 127.0.0.1:7001:100,127.0.0.1:7002:101
+//   == daemon 127.0.0.1:7001 (endpoint 100) ==
+//   counter   net.requests   ...
+//   ...
+//   == fleet (2 daemons merged) ==
+//   ...
+//
+// The node map uses the same "host:port[:endpoint]" syntax as every other
+// client. One kStatsSnapshot RPC per *daemon* (multiple endpoints behind
+// one address share a process, and every endpoint answers with the same
+// daemon-wide snapshot, so extra endpoints are skipped). The merged view
+// is the associative fold of the per-daemon snapshots.
+//
+// --json switches to a single machine-readable document:
+//   {"daemons": [{"address": "...", "endpoint": N, "metrics": {...}}, ...],
+//    "merged": {...}}
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "net/rpc.h"
+#include "net/tcp/tcp_transport.h"
+#include "obs/metrics_render.h"
+#include "obs/metrics_wire.h"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "fleet_stats: " << error << "\n";
+  std::cerr << "usage: fleet_stats --nodes host:port[:endpoint],...\n"
+            << "                   [--json] [--timeout-ms T]\n"
+            << "  --nodes MAP    the fleet's node map (same syntax as the\n"
+            << "                 backup clients); one scrape per distinct\n"
+            << "                 host:port\n"
+            << "  --json         machine-readable output (per-daemon +\n"
+            << "                 merged)\n"
+            << "  --timeout-ms T per-scrape RPC timeout (default 5000)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sigma;
+
+  std::string nodes_csv;
+  bool json = false;
+  std::uint32_t timeout_ms = 5000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      nodes_csv = value();
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--timeout-ms") {
+      try {
+        timeout_ms = static_cast<std::uint32_t>(
+            net::parse_number(value(), 3600000, "value for --timeout-ms"));
+      } catch (const net::SocketError& e) {
+        usage(e.what());
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage("unknown option " + arg);
+    }
+  }
+  if (nodes_csv.empty()) usage("--nodes is required");
+
+  try {
+    const auto nodes =
+        net::parse_tcp_nodes(nodes_csv, net::kServiceEndpointBase);
+
+    // One scrape target per distinct daemon address (first endpoint wins).
+    std::map<std::pair<std::string, std::uint16_t>, net::EndpointId> daemons;
+    net::TcpTransportConfig tcp;
+    for (const auto& node : nodes) {
+      tcp.remote_endpoints.emplace(node.endpoint, node.address);
+      daemons.emplace(
+          std::make_pair(node.address.host, node.address.port),
+          node.endpoint);
+    }
+    net::TcpTransport transport(std::move(tcp));
+    net::RpcEndpoint rpc(transport);
+
+    struct DaemonStats {
+      std::string address;
+      net::EndpointId endpoint;
+      obs::MetricsSnapshot snapshot;
+    };
+    std::vector<DaemonStats> scraped;
+    obs::MetricsSnapshot merged;
+    for (const auto& [address, endpoint] : daemons) {
+      const Buffer body =
+          rpc.call_sync(endpoint, net::MessageType::kStatsSnapshot, Buffer{},
+                        std::chrono::milliseconds(timeout_ms));
+      DaemonStats d;
+      d.address = address.first + ":" + std::to_string(address.second);
+      d.endpoint = endpoint;
+      d.snapshot =
+          obs::decode_metrics_snapshot(ByteView{body.data(), body.size()});
+      merged.merge(d.snapshot);
+      scraped.push_back(std::move(d));
+    }
+
+    if (json) {
+      std::string out = "{\"daemons\": [";
+      for (std::size_t i = 0; i < scraped.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "{\"address\": " + json_quote(scraped[i].address) +
+               ", \"endpoint\": " + std::to_string(scraped[i].endpoint) +
+               ", \"metrics\": " + obs::render_json(scraped[i].snapshot) +
+               "}";
+      }
+      out += "], \"merged\": " + obs::render_json(merged) + "}";
+      std::cout << out << std::endl;
+    } else {
+      for (const auto& d : scraped) {
+        std::cout << "== daemon " << d.address << " (endpoint " << d.endpoint
+                  << ") ==\n"
+                  << obs::render_text(d.snapshot);
+      }
+      std::cout << "== fleet (" << scraped.size() << " daemon"
+                << (scraped.size() == 1 ? "" : "s") << " merged) ==\n"
+                << obs::render_text(merged) << std::flush;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_stats: " << e.what() << "\n";
+    return 1;
+  }
+}

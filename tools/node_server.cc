@@ -21,6 +21,12 @@
 // and — file backend — every open container is sealed to disk, so a
 // SIGTERM loses nothing and only a hard kill loses unsealed chunks.
 //
+// Observability: SIGUSR1 dumps the daemon-wide metrics snapshot (every
+// counter, gauge and latency histogram, plus the legacy struct stats) to
+// stderr without disturbing service; the same dump is printed once more
+// on clean shutdown. Remote scraping goes through the kStatsSnapshot wire
+// op (see tools/fleet_stats).
+//
 // Point a client at a fleet with a node map, one entry per hosted node:
 //   transport_cluster --tcp 127.0.0.1:7001:100,127.0.0.1:7001:101
 #include <csignal>
@@ -29,13 +35,26 @@
 #include <semaphore>
 #include <string>
 
+#include "obs/metrics_render.h"
 #include "server/node_server.h"
 
 namespace {
 
-std::binary_semaphore g_shutdown{0};
+// Signals release the semaphore; flags say why it was released (USR1 may
+// fire any number of times before the loop reacts, hence counting).
+std::counting_semaphore<> g_signal{0};
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
-void handle_signal(int) { g_shutdown.release(); }
+void handle_shutdown(int) {
+  g_shutdown_requested = 1;
+  g_signal.release();
+}
+
+void handle_dump(int) {
+  g_dump_requested = 1;
+  g_signal.release();
+}
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "node_server: " << error << "\n";
@@ -130,8 +149,9 @@ int main(int argc, char** argv) {
     // Construction recovers durable state (file backend) before the
     // listening socket exists — RECOVERED and READY are honest.
     server::NodeServer server(config);
-    std::signal(SIGINT, handle_signal);
-    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_shutdown);
+    std::signal(SIGTERM, handle_shutdown);
+    std::signal(SIGUSR1, handle_dump);
     std::signal(SIGPIPE, SIG_IGN);
 
     if (config.backend == server::BackendKind::kFile) {
@@ -149,7 +169,21 @@ int main(int argc, char** argv) {
               << server.endpoint(server.num_nodes() - 1)
               << " nodes=" << server.num_nodes() << std::endl;
 
-    g_shutdown.acquire();  // serve until SIGINT/SIGTERM
+    // Serve until SIGINT/SIGTERM; a SIGUSR1 dumps metrics and keeps
+    // serving.
+    for (;;) {
+      g_signal.acquire();
+      if (g_dump_requested) {
+        g_dump_requested = 0;
+        std::cerr << "METRICS (SIGUSR1) port=" << server.port() << "\n"
+                  << obs::render_text(server.metrics_snapshot());
+      }
+      if (g_shutdown_requested) break;
+    }
+
+    // The final readout must precede flush(): flushing unbinds the
+    // services, and the snapshot folds their counters in.
+    const obs::MetricsSnapshot final_snapshot = server.metrics_snapshot();
 
     // Clean shutdown: seal open containers so a file-backed daemon comes
     // back with everything it had accepted.
@@ -157,10 +191,13 @@ int main(int argc, char** argv) {
 
     std::uint64_t served = 0;
     for (std::size_t i = 0; i < server.num_nodes(); ++i) {
-      served += server.service(i).stats().requests_served;
+      const std::uint64_t* count = final_snapshot.find_counter(
+          "svc.node" + std::to_string(i) + ".requests_served");
+      if (count) served += *count;
     }
     std::cerr << "node_server: shutting down (" << served
-              << " requests served)\n";
+              << " requests served)\n"
+              << obs::render_text(final_snapshot);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "node_server: " << e.what() << "\n";
