@@ -15,7 +15,7 @@ namespace {
 using namespace sigma;
 namespace bench = sigma::bench;
 
-void run_dataset(const Dataset& trace) {
+void run_dataset(const Dataset& trace, bench::BenchResult& result) {
   std::cout << "\nDataset: " << trace.name << " ("
             << format_bytes(trace.logical_bytes()) << ", "
             << trace.chunk_count() << " chunks)\n";
@@ -38,6 +38,11 @@ void run_dataset(const Dataset& trace) {
       }
       const auto report = bench::run_cluster(trace, scheme, n);
       row.push_back(std::to_string(report.messages.total()));
+      // One metric per (dataset, scheme, cluster size) cell so the paper
+      // figure can be re-plotted from the JSON alone.
+      result.metrics[trace.name + "_" + to_string(scheme) + "_n" +
+                     std::to_string(n) + "_messages"] =
+          static_cast<double>(report.messages.total());
     }
     table.add_row(row);
   }
@@ -52,11 +57,17 @@ int main() {
       "paper Fig. 7");
   const double scale = 0.5 * bench::bench_scale();
 
-  run_dataset(linux_dataset(scale));
-  run_dataset(vm_dataset(scale * 0.6));
+  bench::BenchResult result;
+  result.name = "fig7_messages";
+  result.params["scale"] = std::to_string(scale);
+  result.params["cluster_sizes"] = "2..128";
+
+  run_dataset(linux_dataset(scale), result);
+  run_dataset(vm_dataset(scale * 0.6), result);
 
   std::cout << "\nShape check: Stateless/ExtremeBinning flat at one lookup "
                "per chunk; Sigma flat\nat <= 1.25x that; Stateful grows "
                "linearly with cluster size.\n";
+  bench::emit_bench_json(result);
   return 0;
 }

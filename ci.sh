@@ -2,8 +2,11 @@
 # Tier-1 verify: full build + test suite, exactly as CI runs it, plus the
 # multi-process TCP smoke test (node_server daemons + client over sockets),
 # the persistence smoke test (file-backed daemons: store, SIGKILL, restart,
-# recover, read back) and an ASan+UBSan pass over the test suite (set
-# SIGMA_SKIP_SANITIZERS=1 to skip it for a quick local run).
+# recover, read back), a clang-tidy pass (skipped when the tool is absent),
+# and two sanitizer lanes — ASan+UBSan and TSan+lock-ranks, both over the
+# full test suite, TSan additionally over both smoke tests (set
+# SIGMA_SKIP_SANITIZERS=1 to skip the sanitizer lanes for a quick local
+# run).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,6 +17,9 @@ ctest --output-on-failure -j --test-dir build
 scripts/tcp_smoke.sh build
 scripts/persist_smoke.sh build
 
+# Static analysis (no-op exit 0 on machines without clang-tidy).
+scripts/run_clang_tidy.sh build
+
 # The two gate benches must run end-to-end (small scale) and emit valid
 # machine-readable BENCH_<name>.json documents; the pipeline bench must
 # also carry the metrics-plane overhead A/B numbers.
@@ -23,7 +29,10 @@ SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT"
     ./build/bench/bench_fig_probe_latency
 SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT" \
     ./build/bench/bench_fig_transport_pipeline
+SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT" \
+    ./build/bench/bench_fig7_messages
 python3 scripts/check_bench_json.py "$BENCH_OUT/BENCH_fig_probe_latency.json"
+python3 scripts/check_bench_json.py "$BENCH_OUT/BENCH_fig7_messages.json"
 python3 scripts/check_bench_json.py \
     --require-metric metrics_off_mbps \
     --require-metric metrics_on_mbps \
@@ -37,4 +46,18 @@ if [[ "${SIGMA_SKIP_SANITIZERS:-0}" != "1" ]]; then
       -DSIGMA_BUILD_BENCH=OFF -DSIGMA_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   ctest --output-on-failure -j --test-dir build-asan
+
+  # TSan lane: the full suite plus both multi-process smoke tests, with
+  # the runtime lock-rank checker armed. tsan.supp carries documented
+  # benign suppressions only (empty unless annotated otherwise) — a
+  # report here is a real race, fix it rather than suppress it.
+  cmake -B build-tsan -S . -DSIGMA_SANITIZE=thread -DSIGMA_LOCK_RANKS=ON \
+      -DSIGMA_BUILD_BENCH=OFF
+  cmake --build build-tsan -j
+  TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1" \
+      ctest --output-on-failure -j --test-dir build-tsan
+  TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1" \
+      scripts/tcp_smoke.sh build-tsan
+  TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1" \
+      scripts/persist_smoke.sh build-tsan
 fi

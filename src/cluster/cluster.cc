@@ -299,6 +299,7 @@ void Cluster::submit_write(NodeId target, StreamId stream,
 }
 
 void Cluster::backup(const TraceBackup& backup, StreamId stream) {
+  MutexLock lock(route_mu_);
   switch (router_->granularity()) {
     case RoutingGranularity::kSuperChunk:
       backup_super_chunk_stream(backup, stream);
@@ -412,6 +413,10 @@ NodeId Cluster::place_super_chunk(const SuperChunk& super_chunk,
   if (super_chunk.chunks.empty()) {
     throw std::invalid_argument("Cluster: empty super-chunk");
   }
+  // One routing decision + its ledger update is atomic; concurrent
+  // BackupClients interleave at super-chunk granularity (writes still
+  // overlap downstream through the pipeline).
+  MutexLock lock(route_mu_);
   RouteContext ctx;
   const NodeId target = route_unit(super_chunk.chunks, ctx);
   messages_.pre_routing += ctx.pre_routing_messages;
@@ -426,6 +431,7 @@ std::optional<Buffer> Cluster::read_chunk(NodeId node,
   if (node >= size()) {
     throw std::invalid_argument("Cluster: bad node id");
   }
+  MutexLock lock(route_mu_);
   if (runtime_) {
     runtime_->drain();  // reads must observe every in-flight write
     return runtime_->clients[node]->read_chunk(fp);
@@ -434,6 +440,7 @@ std::optional<Buffer> Cluster::read_chunk(NodeId node,
 }
 
 void Cluster::flush() {
+  MutexLock lock(route_mu_);
   if (runtime_) {
     runtime_->drain();
     // Batched async flush: seal every node's containers concurrently.
@@ -454,6 +461,7 @@ ClusterReport Cluster::report() const {
   // In message mode, settle the write pipeline so usage counters reflect
   // every accepted super-chunk — the report is then identical to the
   // direct-call mode's at pipeline depth 1.
+  MutexLock lock(route_mu_);
   if (runtime_) runtime_->drain();
   ClusterReport report;
   report.logical_bytes = logical_bytes_;

@@ -21,6 +21,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "net/tcp/socket.h"
 #include "net/transport.h"
@@ -163,43 +165,61 @@ class Cluster {
   net::NetStats net_stats() const;
 
   /// Process one backup generation in trace form (no payloads).
-  void backup(const TraceBackup& backup, StreamId stream = 0);
+  void backup(const TraceBackup& backup, StreamId stream = 0)
+      SIGMA_EXCLUDES(route_mu_);
 
   /// Process every generation of a dataset in order.
-  void backup_dataset(const Dataset& dataset, StreamId stream = 0);
+  void backup_dataset(const Dataset& dataset, StreamId stream = 0)
+      SIGMA_EXCLUDES(route_mu_);
 
   /// Route one client-built super-chunk and write it (payload-mode entry
-  /// used by BackupClient). Returns the chosen node.
+  /// used by BackupClient). Returns the chosen node. Concurrent callers
+  /// (one BackupClient per stream) are serialized per routing decision —
+  /// router state is single-threaded by design; writes still overlap
+  /// through the pipeline.
   NodeId place_super_chunk(const SuperChunk& super_chunk, StreamId stream,
-                           const DedupNode::PayloadProvider& payloads = {});
+                           const DedupNode::PayloadProvider& payloads = {})
+      SIGMA_EXCLUDES(route_mu_);
 
   /// Fetch one stored chunk from a node (restore path). Goes over the
   /// transport in message mode.
-  std::optional<Buffer> read_chunk(NodeId node, const Fingerprint& fp) const;
+  std::optional<Buffer> read_chunk(NodeId node, const Fingerprint& fp) const
+      SIGMA_EXCLUDES(route_mu_);
 
   /// Seal all open containers on every node.
-  void flush();
+  void flush() SIGMA_EXCLUDES(route_mu_);
 
-  ClusterReport report() const;
+  ClusterReport report() const SIGMA_EXCLUDES(route_mu_);
 
  private:
-  void backup_super_chunk_stream(const TraceBackup& backup, StreamId stream);
+  void backup_super_chunk_stream(const TraceBackup& backup, StreamId stream)
+      SIGMA_REQUIRES(route_mu_);
   void backup_files_extreme_binning(const TraceBackup& backup,
-                                    StreamId stream);
-  void backup_chunk_dht(const TraceBackup& backup, StreamId stream);
+                                    StreamId stream)
+      SIGMA_REQUIRES(route_mu_);
+  void backup_chunk_dht(const TraceBackup& backup, StreamId stream)
+      SIGMA_REQUIRES(route_mu_);
 
   /// Route one unit. In message mode this first waits until the write
   /// pipeline has a free slot, so at depth 1 every probe observes all
   /// previous writes applied — bit-identical to direct mode.
-  NodeId route_unit(const std::vector<ChunkRecord>& unit, RouteContext& ctx);
+  NodeId route_unit(const std::vector<ChunkRecord>& unit, RouteContext& ctx)
+      SIGMA_REQUIRES(route_mu_);
 
   /// Dispatch one super-chunk write to `target` (direct call or pipelined
   /// transport write).
   void submit_write(NodeId target, StreamId stream, const SuperChunk& sc,
-                    const DedupNode::PayloadProvider& payloads = {});
+                    const DedupNode::PayloadProvider& payloads = {})
+      SIGMA_REQUIRES(route_mu_);
 
   ClusterConfig config_;
   std::vector<std::unique_ptr<DedupNode>> nodes_;
+  /// Serializes the client-side routing plane: router_'s internal state,
+  /// the Fig. 7 message ledger and the EB bin store below. Outermost in
+  /// the lock order — held across probe RPCs, write dispatch and, in
+  /// direct mode, node storage access. The pointer itself is fixed at
+  /// construction; its pointee state is what route_mu_ guards.
+  mutable Mutex route_mu_{LockRank::kClientRoute};
   std::unique_ptr<Router> router_;
 
   /// Transport-mode machinery (services, client stubs, write pipeline);
@@ -229,10 +249,10 @@ class Cluster {
     std::unordered_map<std::uint64_t, std::unordered_set<Fingerprint>> bins;
     std::uint64_t stored_bytes = 0;
   };
-  std::vector<BinState> eb_state_;
+  std::vector<BinState> eb_state_ SIGMA_GUARDED_BY(route_mu_);
 
-  std::uint64_t logical_bytes_ = 0;
-  MessageStats messages_;
+  std::uint64_t logical_bytes_ SIGMA_GUARDED_BY(route_mu_) = 0;
+  MessageStats messages_ SIGMA_GUARDED_BY(route_mu_);
 };
 
 }  // namespace sigma

@@ -3,14 +3,14 @@
 namespace sigma {
 
 void Director::record_file(const std::string& session, FileRecipe recipe) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto path = recipe.path;
   sessions_[session][std::move(path)] = std::move(recipe);
 }
 
 std::optional<FileRecipe> Director::find(const std::string& session,
                                          const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto s = sessions_.find(session);
   if (s == sessions_.end()) return std::nullopt;
   auto f = s->second.find(path);
@@ -19,7 +19,7 @@ std::optional<FileRecipe> Director::find(const std::string& session,
 }
 
 std::vector<std::string> Director::sessions() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(sessions_.size());
   for (const auto& [name, files] : sessions_) out.push_back(name);
@@ -27,7 +27,7 @@ std::vector<std::string> Director::sessions() const {
 }
 
 std::vector<std::string> Director::files(const std::string& session) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   auto s = sessions_.find(session);
   if (s == sessions_.end()) return out;
@@ -37,12 +37,12 @@ std::vector<std::string> Director::files(const std::string& session) const {
 }
 
 std::size_t Director::session_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
 std::size_t Director::file_count(const std::string& session) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto s = sessions_.find(session);
   return s == sessions_.end() ? 0 : s->second.size();
 }

@@ -5,13 +5,14 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/fingerprint.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "node/dedup_node.h"
 
 namespace sigma {
@@ -52,11 +53,11 @@ class Director {
   std::size_t file_count(const std::string& session) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kDirector};
   // session -> path -> recipe
   std::unordered_map<std::string,
                      std::unordered_map<std::string, FileRecipe>>
-      sessions_;
+      sessions_ SIGMA_GUARDED_BY(mu_);
 };
 
 }  // namespace sigma

@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace sigma {
 namespace {
@@ -30,7 +31,8 @@ LogLevel initial_log_level() {
 }
 
 std::atomic<LogLevel> g_level{initial_log_level()};
-std::mutex g_log_mu;
+// Highest rank of all: a log line may be emitted under any other lock.
+Mutex g_log_mu{LockRank::kLogging};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -73,7 +75,7 @@ void log_message(LogLevel level, const std::string& message) {
   char prefix[48];
   std::snprintf(prefix, sizeof(prefix), "[%10.3f t%02u %-5s] ", t, tid,
                 level_name(level));
-  std::lock_guard lock(g_log_mu);
+  MutexLock lock(g_log_mu);
   std::cerr << prefix << message << "\n";
 }
 

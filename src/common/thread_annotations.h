@@ -1,0 +1,71 @@
+// Clang thread-safety-analysis annotations (a no-op under other
+// compilers). Annotating a member with SIGMA_GUARDED_BY(mu_) and building
+// with clang's -Wthread-safety turns every access outside the lock into a
+// compile error — the locking discipline of the whole fleet becomes a
+// machine-checked invariant instead of a comment.
+//
+// The vocabulary (see the clang ThreadSafetyAnalysis docs):
+//   SIGMA_CAPABILITY        — this class is a lock (sigma::Mutex).
+//   SIGMA_SCOPED_CAPABILITY — this class is an RAII lock holder
+//                             (sigma::MutexLock).
+//   SIGMA_GUARDED_BY(mu)    — reads and writes of this member require mu.
+//   SIGMA_PT_GUARDED_BY(mu) — like GUARDED_BY, for the pointee.
+//   SIGMA_REQUIRES(mu)      — callers must hold mu across this call.
+//   SIGMA_EXCLUDES(mu)      — callers must NOT hold mu (the function takes
+//                             it itself; guards against self-deadlock).
+//   SIGMA_ACQUIRE / SIGMA_RELEASE / SIGMA_TRY_ACQUIRE — lock-shaped
+//                             functions (Mutex's own methods).
+//   SIGMA_ASSERT_CAPABILITY — runtime assertion that mu is held.
+//   SIGMA_RETURN_CAPABILITY — this function returns a reference to mu.
+//   SIGMA_NO_THREAD_SAFETY_ANALYSIS — escape hatch; every use carries a
+//                             comment explaining why the analysis cannot
+//                             see the invariant.
+//
+// Build with scripts/run_clang_tidy.sh or a clang build (ci.sh runs one
+// when clang is installed): CMake adds -Wthread-safety
+// -Werror=thread-safety for Clang compilers.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SIGMA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SIGMA_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+#define SIGMA_CAPABILITY(x) SIGMA_THREAD_ANNOTATION_(capability(x))
+#define SIGMA_SCOPED_CAPABILITY SIGMA_THREAD_ANNOTATION_(scoped_lockable)
+
+#define SIGMA_GUARDED_BY(x) SIGMA_THREAD_ANNOTATION_(guarded_by(x))
+#define SIGMA_PT_GUARDED_BY(x) SIGMA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define SIGMA_ACQUIRED_BEFORE(...) \
+  SIGMA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SIGMA_ACQUIRED_AFTER(...) \
+  SIGMA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define SIGMA_REQUIRES(...) \
+  SIGMA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SIGMA_REQUIRES_SHARED(...) \
+  SIGMA_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define SIGMA_ACQUIRE(...) \
+  SIGMA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SIGMA_ACQUIRE_SHARED(...) \
+  SIGMA_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define SIGMA_RELEASE(...) \
+  SIGMA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SIGMA_RELEASE_SHARED(...) \
+  SIGMA_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define SIGMA_TRY_ACQUIRE(...) \
+  SIGMA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define SIGMA_EXCLUDES(...) SIGMA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define SIGMA_ASSERT_CAPABILITY(x) \
+  SIGMA_THREAD_ANNOTATION_(assert_capability(x))
+
+#define SIGMA_RETURN_CAPABILITY(x) SIGMA_THREAD_ANNOTATION_(lock_returned(x))
+
+#define SIGMA_NO_THREAD_SAFETY_ANALYSIS \
+  SIGMA_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopped_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopped_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) {
         if (stopped_) return;
         continue;

@@ -4,13 +4,15 @@
 // similarity-index lookup.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sigma {
 
@@ -24,13 +26,13 @@ class ThreadPool {
 
   /// Enqueue a task; the future resolves when it has run.
   template <typename F>
-  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+  std::future<std::invoke_result_t<F>> submit(F&& fn) SIGMA_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stopped_) {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
@@ -49,10 +51,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopped_ = false;
+  Mutex mu_{LockRank::kThreadPool};
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ SIGMA_GUARDED_BY(mu_);
+  bool stopped_ SIGMA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sigma

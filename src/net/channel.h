@@ -4,10 +4,11 @@
 // push completion order.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sigma::net {
 
@@ -16,9 +17,9 @@ class Channel {
  public:
   /// Enqueue one item. Returns false (dropping the item) if the channel
   /// has been closed.
-  bool push(T&& item) {
+  bool push(T&& item) SIGMA_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -28,9 +29,9 @@ class Channel {
 
   /// Blocking pop: waits for an item or close. Empty optional means the
   /// channel is closed *and* drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() SIGMA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -38,8 +39,8 @@ class Channel {
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::lock_guard lock(mu_);
+  std::optional<T> try_pop() SIGMA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -47,29 +48,29 @@ class Channel {
   }
 
   /// Close the channel: future pushes fail, pops drain what remains.
-  void close() {
+  void close() SIGMA_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mu_);
+  bool closed() const SIGMA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const SIGMA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{LockRank::kChannel};
+  CondVar cv_;
+  std::deque<T> items_ SIGMA_GUARDED_BY(mu_);
+  bool closed_ SIGMA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sigma::net

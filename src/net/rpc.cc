@@ -4,8 +4,12 @@ namespace sigma::net {
 
 Buffer PendingCall::get(std::chrono::milliseconds timeout) {
   if (!state_) throw RpcError("rpc: empty PendingCall");
-  std::unique_lock lock(state_->mu);
-  if (!state_->cv.wait_for(lock, timeout, [&] { return state_->done; })) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(state_->mu);
+  while (!state_->done && state_->cv.wait_until(state_->mu, deadline) !=
+                              std::cv_status::timeout) {
+  }
+  if (!state_->done) {
     lock.unlock();
     endpoint_->abandon(state_->correlation_id);
     // Re-check: the response may have raced the abandonment.
@@ -25,7 +29,7 @@ Buffer PendingCall::get(std::chrono::milliseconds timeout) {
 
 bool PendingCall::done() const {
   if (!state_) return false;
-  std::lock_guard lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->done;
 }
 
@@ -47,14 +51,14 @@ RpcEndpoint::~RpcEndpoint() {
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingCall::State>>
       orphans;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     orphans.swap(pending_);
   }
   if (in_flight_ && !orphans.empty()) {
     in_flight_->sub(static_cast<std::int64_t>(orphans.size()));
   }
   for (auto& [cid, state] : orphans) {
-    std::lock_guard lock(state->mu);
+    MutexLock lock(state->mu);
     state->done = true;
     state->error = true;
     state->error_text = "endpoint shut down";
@@ -73,7 +77,7 @@ PendingCall RpcEndpoint::call(EndpointId dst, MessageType type, Buffer body) {
   m.dst = dst;
   m.body = std::move(body);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     m.correlation_id = next_correlation_++;
     state->correlation_id = m.correlation_id;
     pending_.emplace(m.correlation_id, state);
@@ -121,7 +125,7 @@ void RpcEndpoint::on_message(Message&& m) {
   }
   std::shared_ptr<PendingCall::State> state;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = pending_.find(m.correlation_id);
     if (it == pending_.end()) {
       ++late_responses_;  // abandoned by a timeout, or a stray correlation
@@ -133,7 +137,7 @@ void RpcEndpoint::on_message(Message&& m) {
   }
   if (in_flight_) in_flight_->sub(1);
   {
-    std::lock_guard lock(state->mu);
+    MutexLock lock(state->mu);
     state->done = true;
     if (m.kind == MessageKind::kError) {
       state->error = true;
@@ -148,7 +152,7 @@ void RpcEndpoint::on_message(Message&& m) {
 void RpcEndpoint::abandon(std::uint64_t correlation_id) {
   bool erased = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     erased = pending_.erase(correlation_id) > 0;
   }
   // Only a real abandonment is a timeout; when the response raced the
@@ -158,12 +162,12 @@ void RpcEndpoint::abandon(std::uint64_t correlation_id) {
 }
 
 std::size_t RpcEndpoint::pending_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return pending_.size();
 }
 
 std::uint64_t RpcEndpoint::late_responses() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return late_responses_;
 }
 

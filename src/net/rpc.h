@@ -13,15 +13,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -60,14 +60,17 @@ class PendingCall {
   friend class RpcEndpoint;
 
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    bool error = false;
-    Buffer body;
-    std::string error_text;
-    MessageType type = MessageType::kResemblanceProbe;
-    std::uint64_t correlation_id = 0;
+    // Never nested with the endpoint's mu_ (both sides release one before
+    // taking the other), but ranked after it so the checker would catch a
+    // regression that nests them the wrong way round.
+    Mutex mu{LockRank::kRpcCall};
+    CondVar cv;
+    bool done SIGMA_GUARDED_BY(mu) = false;
+    bool error SIGMA_GUARDED_BY(mu) = false;
+    Buffer body SIGMA_GUARDED_BY(mu);
+    std::string error_text SIGMA_GUARDED_BY(mu);
+    MessageType type = MessageType::kResemblanceProbe;  // set before send
+    std::uint64_t correlation_id = 0;                   // set before send
   };
 
   PendingCall(RpcEndpoint* endpoint, std::shared_ptr<State> state)
@@ -114,8 +117,8 @@ class RpcEndpoint {
  private:
   friend class PendingCall;
 
-  void on_message(Message&& m);
-  void abandon(std::uint64_t correlation_id);
+  void on_message(Message&& m) SIGMA_EXCLUDES(mu_);
+  void abandon(std::uint64_t correlation_id) SIGMA_EXCLUDES(mu_);
 
   Transport& transport_;
   /// Cached instruments; null without a registry.
@@ -123,11 +126,11 @@ class RpcEndpoint {
   obs::Counter* timeouts_ = nullptr;
   obs::Counter* correlation_misses_ = nullptr;
   EndpointId id_ = 0;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kRpcEndpoint};
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingCall::State>>
-      pending_;
-  std::uint64_t next_correlation_ = 1;
-  std::uint64_t late_responses_ = 0;
+      pending_ SIGMA_GUARDED_BY(mu_);
+  std::uint64_t next_correlation_ SIGMA_GUARDED_BY(mu_) = 1;
+  std::uint64_t late_responses_ SIGMA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sigma::net

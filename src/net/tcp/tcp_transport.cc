@@ -59,7 +59,7 @@ TcpTransport::TcpTransport(TcpTransportConfig config)
 
 TcpTransport::~TcpTransport() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   wake_loop();
@@ -70,7 +70,7 @@ TcpTransport::~TcpTransport() {
 }
 
 EndpointId TcpTransport::register_endpoint(Handler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const EndpointId id = next_id_++;
   auto ep = std::make_shared<Endpoint>();
   ep->handler = std::move(handler);
@@ -79,20 +79,20 @@ EndpointId TcpTransport::register_endpoint(Handler handler) {
 }
 
 void TcpTransport::unregister_endpoint(EndpointId id) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = endpoints_.find(id);
   if (it == endpoints_.end()) return;
   auto ep = it->second;
   endpoints_.erase(it);
   // Wait out deliveries already dispatched to this endpoint so the caller
   // may tear down whatever the handler references.
-  idle_cv_.wait(lock, [&] { return ep->active_deliveries == 0; });
+  while (ep->active_deliveries != 0) idle_cv_.wait(mu_);
 }
 
 bool TcpTransport::deliver_local(Message&& m) {
   std::shared_ptr<Endpoint> ep;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = endpoints_.find(m.dst);
     if (it == endpoints_.end()) return false;
     ep = it->second;
@@ -100,17 +100,20 @@ bool TcpTransport::deliver_local(Message&& m) {
   }
   ep->handler(std::move(m));
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     --ep->active_deliveries;
+    // Notify under mu_: unregister_endpoint's caller may destroy this
+    // transport the instant its wait predicate holds, so the notify must
+    // complete before that predicate can be re-checked.
+    idle_cv_.notify_all();
   }
-  idle_cv_.notify_all();
   return true;
 }
 
 void TcpTransport::bounce_request(const Message& header,
                                   const std::string& text) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++tcp_stats_.bounced_requests;
     ++stats_.errors;
   }
@@ -134,7 +137,7 @@ void TcpTransport::send(Message&& m) {
   std::optional<TcpAddress> dial;
   bool maybe_local = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     maybe_local = endpoints_.count(m.dst) > 0;
     if (!maybe_local && routes_.find(m.dst) == routes_.end()) {
       auto pit = config_.remote_endpoints.find(m.dst);
@@ -151,7 +154,7 @@ void TcpTransport::send(Message&& m) {
       resolved = resolve_numeric(*dial);
     } catch (const SocketError& e) {
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.dropped;
       }
       if (is_request) {
@@ -174,7 +177,7 @@ void TcpTransport::send(Message&& m) {
   bool oversized = false;
   ConnPtr conn;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     if (endpoints_.count(m.dst) > 0) {
       local = true;
@@ -237,7 +240,7 @@ void TcpTransport::send(Message&& m) {
 
   if (local) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.messages_sent;
       stats_.bytes_sent += m.wire_size();
       switch (m.kind) {
@@ -254,7 +257,7 @@ void TcpTransport::send(Message&& m) {
     }
     if (!deliver_local(std::move(m))) {
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++stats_.dropped;
       }
       if (is_request) bounce_request(header, "endpoint unregistered");
@@ -282,7 +285,7 @@ void TcpTransport::send(Message&& m) {
   // clears its queue; a peer that stays wedged past the stall timeout is
   // failed (the loop owns the fd), so this always unblocks.
   if (!on_loop_thread()) {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (m_backpressure_stalls_ && !stopping_ &&
         conn->outbox_bytes > config_.write_high_watermark) {
       m_backpressure_stalls_->inc();
@@ -290,30 +293,37 @@ void TcpTransport::send(Message&& m) {
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(config_.write_stall_timeout_ms);
-    const bool drained = write_cv_.wait_until(lock, deadline, [&] {
-      return stopping_ ||
-             conn->outbox_bytes <= config_.write_high_watermark;
-    });
+    bool drained;
+    for (;;) {
+      drained =
+          stopping_ || conn->outbox_bytes <= config_.write_high_watermark;
+      if (drained) break;
+      if (write_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+        drained =
+            stopping_ || conn->outbox_bytes <= config_.write_high_watermark;
+        break;
+      }
+    }
     if (!drained) {
       conn->stalled = true;
       lock.unlock();
       wake_loop();
       lock.lock();
-      write_cv_.wait(lock, [&] {
-        return stopping_ ||
-               conn->outbox_bytes <= config_.write_high_watermark;
-      });
+      while (!stopping_ &&
+             conn->outbox_bytes > config_.write_high_watermark) {
+        write_cv_.wait(mu_);
+      }
     }
   }
 }
 
 NetStats TcpTransport::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 TcpTransportStats TcpTransport::tcp_stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return tcp_stats_;
 }
 
@@ -328,7 +338,7 @@ void TcpTransport::loop() {
     std::vector<ConnPtr> to_fail;
     int timeout_ms = 200;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
 
       // Reap finished inbound connections.
@@ -388,7 +398,7 @@ void TcpTransport::loop() {
     pfds.push_back({wake_read_.get(), POLLIN, 0});
     if (listen_fd_.valid()) pfds.push_back({listen_fd_.get(), POLLIN, 0});
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto add_conn = [&](const ConnPtr& conn) {
         if (!conn->fd.valid()) return;
         short events = 0;
@@ -465,7 +475,7 @@ void TcpTransport::loop_accept() {
     Hello hello;
     hello.role = PeerRole::kServer;
     conn->hello_out = encode_hello(hello);
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     conn->state = Conn::State::kHello;
     ++tcp_stats_.connections_accepted;
     inbound_.push_back(std::move(conn));
@@ -483,7 +493,7 @@ void TcpTransport::loop_dial(const ConnPtr& conn) {
     SocketFd fd = tcp_connect_start(conn->address, in_progress);
     Hello hello;
     hello.role = config_.listen ? PeerRole::kServer : PeerRole::kClient;
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     conn->fd = std::move(fd);
     conn->hello_out = encode_hello(hello);
     conn->hello_sent = 0;
@@ -503,7 +513,7 @@ void TcpTransport::loop_connect_ready(const ConnPtr& conn) {
                              ": " + std::strerror(err));
     return;
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   conn->state = Conn::State::kHello;
 }
 
@@ -511,7 +521,7 @@ void TcpTransport::connect_failed(const ConnPtr& conn,
                                   const std::string& reason) {
   std::vector<Message> bounces;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++tcp_stats_.connect_failures;
     conn->fd.reset();
     ++conn->attempts;
@@ -544,7 +554,7 @@ void TcpTransport::connect_failed(const ConnPtr& conn,
 void TcpTransport::close_conn(const ConnPtr& conn, const std::string& reason) {
   std::vector<Message> bounces;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (conn->state == Conn::State::kEstablished) {
       ++tcp_stats_.connections_lost;
     }
@@ -606,7 +616,7 @@ void TcpTransport::loop_writable(const ConnPtr& conn) {
   std::deque<Buffer> batch;
   std::size_t offset = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     batch.swap(conn->outbox);
     offset = conn->out_offset;
     conn->out_offset = 0;
@@ -638,7 +648,7 @@ void TcpTransport::loop_writable(const ConnPtr& conn) {
   }
 
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     conn->outbox_bytes -= sent_bytes;
     conn->out_offset = offset;
     for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
@@ -666,7 +676,7 @@ void TcpTransport::loop_readable(const ConnPtr& conn) {
       return;
     }
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       tcp_stats_.bytes_received += static_cast<std::uint64_t>(n);
     }
     ByteView data{buf, static_cast<std::size_t>(n)};
@@ -685,14 +695,14 @@ void TcpTransport::loop_readable(const ConnPtr& conn) {
             ByteView{conn->hello_in.data(), conn->hello_in.size()});
       } catch (const FrameError& e) {
         {
-          std::lock_guard lock(mu_);
+          MutexLock lock(mu_);
           ++tcp_stats_.protocol_errors;
         }
         if (m_handshake_failures_) m_handshake_failures_->inc();
         close_conn(conn, e.what());
         return;
       }
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       conn->state = Conn::State::kEstablished;
       conn->attempts = 0;
       conn->was_established = true;
@@ -708,7 +718,7 @@ void TcpTransport::loop_readable(const ConnPtr& conn) {
       }
     } catch (const FrameError& e) {
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++tcp_stats_.protocol_errors;
       }
       close_conn(conn, e.what());
@@ -723,7 +733,7 @@ void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
   bool conflict = false;
   bool takeover = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++tcp_stats_.frames_received;
     // Kind counters cover traffic both ways (messages_sent/bytes_sent
     // stay send-only): a client's `responses` is what its fleet answered.
@@ -789,7 +799,7 @@ void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
         << " re-registered by a different peer connection while its route "
            "is active — refusing the message (endpoint-id collision; give "
            "each client a distinct endpoint base)";
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.dropped;
     if (header.kind != MessageKind::kRequest) return;
     Message bounce = Message::error_to(
@@ -806,7 +816,7 @@ void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
 
   // Unknown destination: refuse requests over the wire (the remote
   // caller's RPC fails fast), drop stray responses.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.dropped;
   if (header.kind != MessageKind::kRequest) return;
   Message bounce = Message::error_to(

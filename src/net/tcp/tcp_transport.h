@@ -39,17 +39,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/tcp/frame.h"
 #include "net/tcp/socket.h"
 #include "net/transport.h"
@@ -160,6 +160,15 @@ class TcpTransport final : public Transport {
   };
 
   /// One TCP connection (inbound or outbound) and its state machine.
+  ///
+  /// Ownership is split two ways (annotations cannot express a nested
+  /// struct guarded by the outer class's mu_, so the split is documented
+  /// here and enforced by the TSan lane):
+  ///   * loop-thread-only: state, fd, address, hello_*, decoder, attempts,
+  ///     retry_at, last_frame_at, was_established — touched exclusively by
+  ///     the event loop once the Conn is registered;
+  ///   * guarded by TcpTransport::mu_: outbox, out_offset, outbox_bytes,
+  ///     awaiting_response, stalled, dead — the producer/loop handoff.
   struct Conn {
     enum class State { kIdle, kBackoff, kConnecting, kHello, kEstablished };
 
@@ -244,22 +253,24 @@ class TcpTransport final : public Transport {
 
   TcpTransportConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;   // unregister_endpoint waits here
-  std::condition_variable write_cv_;  // backpressured senders wait here
-  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
-  EndpointId next_id_;
+  mutable Mutex mu_{LockRank::kTransport};
+  CondVar idle_cv_;   // unregister_endpoint waits here
+  CondVar write_cv_;  // backpressured senders wait here
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_
+      SIGMA_GUARDED_BY(mu_);
+  EndpointId next_id_ SIGMA_GUARDED_BY(mu_);
 
   /// Outbound connections by dial address (persist across reconnects).
-  std::map<std::pair<std::string, std::uint16_t>, ConnPtr> outbound_;
+  std::map<std::pair<std::string, std::uint16_t>, ConnPtr> outbound_
+      SIGMA_GUARDED_BY(mu_);
   /// Accepted connections.
-  std::vector<ConnPtr> inbound_;
+  std::vector<ConnPtr> inbound_ SIGMA_GUARDED_BY(mu_);
   /// Learned routes: remote endpoint id -> connection that carried its
   /// last message (how a daemon answers client endpoints).
-  std::unordered_map<EndpointId, ConnPtr> routes_;
+  std::unordered_map<EndpointId, ConnPtr> routes_ SIGMA_GUARDED_BY(mu_);
 
-  NetStats stats_;
-  TcpTransportStats tcp_stats_;
+  NetStats stats_ SIGMA_GUARDED_BY(mu_);
+  TcpTransportStats tcp_stats_ SIGMA_GUARDED_BY(mu_);
 
   /// Cached instruments (null without config_.metrics). RPC latency is
   /// measured send() -> response dispatch, per op, against the tracking
@@ -275,7 +286,7 @@ class TcpTransport final : public Transport {
   std::uint16_t listen_port_ = 0;
   SocketFd wake_read_;
   SocketFd wake_write_;
-  bool stopping_ = false;
+  bool stopping_ SIGMA_GUARDED_BY(mu_) = false;
   std::thread loop_thread_;
 };
 

@@ -3,7 +3,7 @@
 namespace sigma::net {
 
 EndpointId LoopbackTransport::register_endpoint(Handler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const EndpointId id = next_id_++;
   auto ep = std::make_shared<Endpoint>();
   ep->handler = std::move(handler);
@@ -12,20 +12,20 @@ EndpointId LoopbackTransport::register_endpoint(Handler handler) {
 }
 
 void LoopbackTransport::unregister_endpoint(EndpointId id) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = endpoints_.find(id);
   if (it == endpoints_.end()) return;
   auto ep = it->second;
   endpoints_.erase(it);
   // Wait out deliveries already dispatched to this endpoint so the caller
   // may tear down whatever the handler references.
-  idle_cv_.wait(lock, [&] { return ep->active_deliveries == 0; });
+  while (ep->active_deliveries != 0) idle_cv_.wait(mu_);
 }
 
 bool LoopbackTransport::deliver(Message&& m) {
   std::shared_ptr<Endpoint> ep;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = endpoints_.find(m.dst);
     if (it == endpoints_.end()) return false;
     ep = it->second;
@@ -46,10 +46,13 @@ bool LoopbackTransport::deliver(Message&& m) {
   }
   ep->handler(std::move(m));
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     --ep->active_deliveries;
+    // Notify under mu_: unregister_endpoint's caller may destroy this
+    // transport the instant its wait predicate holds, so the notify must
+    // complete before that predicate can be re-checked.
+    idle_cv_.notify_all();
   }
-  idle_cv_.notify_all();
   return true;
 }
 
@@ -63,7 +66,7 @@ void LoopbackTransport::send(Message&& m) {
   if (deliver(std::move(m))) return;
 
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.dropped;
   }
   if (!was_request) return;  // a response to a vanished client: drop
@@ -77,7 +80,7 @@ void LoopbackTransport::send(Message&& m) {
 }
 
 NetStats LoopbackTransport::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

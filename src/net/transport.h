@@ -10,13 +10,13 @@
 // refusal; responses to unknown endpoints are dropped and counted.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 
 namespace sigma::net {
@@ -64,18 +64,20 @@ class LoopbackTransport final : public Transport {
 
  private:
   struct Endpoint {
-    Handler handler;
-    int active_deliveries = 0;
+    Handler handler;           // immutable after registration
+    int active_deliveries = 0;  // guarded by the transport's mu_
   };
 
-  /// Deliver to a registered endpoint; returns false if unknown.
-  bool deliver(Message&& m);
+  /// Deliver to a registered endpoint; returns false if unknown. The
+  /// handler itself runs with mu_ released.
+  bool deliver(Message&& m) SIGMA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
-  EndpointId next_id_ = 1;
-  NetStats stats_;
+  mutable Mutex mu_{LockRank::kTransport};
+  CondVar idle_cv_;
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_
+      SIGMA_GUARDED_BY(mu_);
+  EndpointId next_id_ SIGMA_GUARDED_BY(mu_) = 1;
+  NetStats stats_ SIGMA_GUARDED_BY(mu_);
 };
 
 }  // namespace sigma::net

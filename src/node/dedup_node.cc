@@ -85,7 +85,7 @@ SuperChunkWriteResult DedupNode::write_super_chunk(
       // chunk new without touching the on-disk index.
       bool maybe_present = true;
       if (config_.use_bloom_filter) {
-        std::lock_guard lock(bloom_mu_);
+        MutexLock lock(bloom_mu_);
         maybe_present = bloom_.may_contain(chunk.fp);
       }
       if (!maybe_present) {
@@ -114,7 +114,7 @@ SuperChunkWriteResult DedupNode::write_super_chunk(
       if (config_.use_disk_index) {
         chunk_index_.insert(chunk.fp, loc);
         if (config_.use_bloom_filter) {
-          std::lock_guard lock(bloom_mu_);
+          MutexLock lock(bloom_mu_);
           bloom_.insert(chunk.fp);
         }
       }
@@ -133,7 +133,7 @@ SuperChunkWriteResult DedupNode::write_super_chunk(
   }
 
   {
-    std::lock_guard lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.logical_bytes += result.duplicate_bytes + result.unique_bytes;
     stats_.physical_bytes += result.unique_bytes;
     stats_.super_chunks += 1;
@@ -188,7 +188,7 @@ std::size_t DedupNode::rebuild_indexes() {
       const ChunkMeta& m = metadata[i];
       chunk_index_.insert(m.fp, {*cid, i});
       {
-        std::lock_guard lock(bloom_mu_);
+        MutexLock lock(bloom_mu_);
         bloom_.insert(m.fp);
       }
       records.push_back({m.fp, m.length});
@@ -224,7 +224,7 @@ std::size_t DedupNode::rebuild_indexes() {
     containers_.restore_state(*max_cid + 1, report.bytes_recovered);
   }
   if (report.bytes_recovered > 0) {
-    std::lock_guard lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.physical_bytes += report.bytes_recovered;
   }
   recovery_ = report;
@@ -238,7 +238,7 @@ std::optional<Buffer> DedupNode::read_chunk(const Fingerprint& fp) const {
 }
 
 DedupNodeStats DedupNode::stats() const {
-  std::lock_guard lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

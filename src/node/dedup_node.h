@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "chunking/super_chunk.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "node/node_probe.h"
 #include "storage/backend.h"
 #include "storage/bloom_filter.h"
@@ -202,12 +203,14 @@ class DedupNode : public NodeProbe {
   SimilarityIndex similarity_index_;
   FingerprintCache cache_;
   ChunkIndex chunk_index_;
-  BloomFilter bloom_;
-  mutable std::mutex bloom_mu_;
+  BloomFilter bloom_ SIGMA_GUARDED_BY(bloom_mu_);
+  mutable Mutex bloom_mu_{LockRank::kBloomFilter};
+  // Written only by rebuild_indexes(), which runs before the node serves
+  // traffic (single-threaded startup) — hence unguarded.
   RecoveryReport recovery_;
 
-  mutable std::mutex stats_mu_;
-  DedupNodeStats stats_;
+  mutable Mutex stats_mu_{LockRank::kNodeStats};
+  DedupNodeStats stats_ SIGMA_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sigma

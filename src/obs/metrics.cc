@@ -168,28 +168,28 @@ const HistogramSnapshot* MetricsSnapshot::find_histogram(
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot s;
   s.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sigma::obs {
 
@@ -181,18 +183,20 @@ struct MetricsSnapshot {
 /// updates through the returned references are lock-free.
 class Registry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) SIGMA_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) SIGMA_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) SIGMA_EXCLUDES(mu_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const SIGMA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry};
   // std::map keeps snapshot output sorted without a per-snapshot sort.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SIGMA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SIGMA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SIGMA_GUARDED_BY(mu_);
 };
 
 }  // namespace sigma::obs

@@ -83,10 +83,17 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
     services_.push_back(std::make_unique<service::NodeService>(
         *node, *transport_, *pool_, &registry_,
         "node" + std::to_string(services_.size())));
-    // Every endpoint of this daemon answers a stats scrape with the same
-    // daemon-wide view (fleet_stats dedupes daemons by address).
-    services_.back()->set_snapshot_provider(
-        [this] { return metrics_snapshot(); });
+  }
+  // Every endpoint of this daemon answers a stats scrape with the same
+  // daemon-wide view (fleet_stats dedupes daemons by address). Providers
+  // go in only after the loop above: a service starts answering the
+  // moment it binds its endpoint, and metrics_snapshot() walks services_
+  // — installing mid-loop would let an early scrape read the vector while
+  // this constructor is still appending to it. (A scrape racing the
+  // install gets an empty snapshot, which fleet_stats treats as "still
+  // starting".)
+  for (auto& service : services_) {
+    service->set_snapshot_provider([this] { return metrics_snapshot(); });
   }
 }
 

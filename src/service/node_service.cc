@@ -35,11 +35,13 @@ NodeService::~NodeService() {
   transport_.unregister_endpoint(endpoint_);
   inbox_.close();
   fast_inbox_.close();
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [&] {
-    return !draining_ && !fast_draining_ && inbox_.size() == 0 &&
-           fast_inbox_.size() == 0;
-  });
+  MutexLock lock(mu_);
+  // Channel::size() locks the channel under mu_ — the kService ->
+  // kChannel ordering the rank table encodes.
+  while (draining_ || fast_draining_ || inbox_.size() != 0 ||
+         fast_inbox_.size() != 0) {
+    idle_cv_.wait(mu_);
+  }
 }
 
 bool NodeService::is_fast_lane(MessageType type) {
@@ -71,7 +73,7 @@ void NodeService::enqueue(Message&& m) {
   auto& lane = fast ? fast_inbox_ : inbox_;
   if (!lane.push(std::move(m))) return;  // shutting down
   observe_depth();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   bool& arming = fast ? fast_draining_ : draining_;
   if (!arming) {
     arming = true;
@@ -82,7 +84,7 @@ void NodeService::enqueue(Message&& m) {
 void NodeService::drain(bool fast) {
   auto& lane = fast ? fast_inbox_ : inbox_;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.drain_runs;
     if (fast) ++stats_.fast_drain_runs;
   }
@@ -94,20 +96,20 @@ void NodeService::drain(bool fast) {
     {
       // One request at a time against the node, across both lanes. A
       // probe waits out at most the write in progress, never the queue.
-      std::lock_guard node_lock(node_mu_);
+      MutexLock node_lock(node_mu_);
       obs::ScopedTimer timer(
           op_time_us_[static_cast<std::uint8_t>(m->type)]);
       response = handle(*m);
     }
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.requests_served;
       if (fast) ++stats_.fast_requests_served;
     }
     transport_.send(std::move(response));
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     bool& arming = fast ? fast_draining_ : draining_;
     arming = false;
     // A message pushed after the final try_pop re-arms here: its enqueue
@@ -118,8 +120,11 @@ void NodeService::drain(bool fast) {
       pool_.submit([this, fast] { drain(fast); });
       return;
     }
+    // Notify under mu_: the destructor may destroy this service the
+    // instant its wait predicate holds, so the notify must complete
+    // before that predicate can be re-checked.
+    idle_cv_.notify_all();
   }
-  idle_cv_.notify_all();
 }
 
 Message NodeService::handle(const Message& request) {
@@ -201,23 +206,29 @@ Message NodeService::handle(const Message& request) {
       }
       case MessageType::kStatsSnapshot: {
         // The provider covers the whole hosting process; every endpoint
-        // of a daemon answers with the same daemon-wide snapshot.
+        // of a daemon answers with the same daemon-wide snapshot. Copy it
+        // out first — invoking under mu_ would reacquire kService rank in
+        // the sibling services it scrapes.
+        SnapshotProvider provider;
+        {
+          MutexLock lock(mu_);
+          provider = snapshot_provider_;
+        }
         return Message::response_to(
             request, obs::encode_metrics_snapshot(
-                         snapshot_provider_ ? snapshot_provider_()
-                                            : obs::MetricsSnapshot{}));
+                         provider ? provider() : obs::MetricsSnapshot{}));
       }
     }
     return Message::error_to(request, "service: unknown operation");
   } catch (const std::exception& e) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.errors_returned;
     return Message::error_to(request, e.what());
   }
 }
 
 NodeServiceStats NodeService::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -22,12 +22,12 @@
 // non-empty), so a large cluster idles without pinning pool threads.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "net/channel.h"
 #include "net/message.h"
@@ -76,8 +76,11 @@ class NodeService {
   NodeServiceStats stats() const;
 
   /// Install the process-wide stats provider (see SnapshotProvider).
-  /// Call before traffic arrives; the provider must be thread-safe.
-  void set_snapshot_provider(SnapshotProvider provider) {
+  /// Safe while traffic is flowing (scrapes racing the install see the
+  /// old provider or the new one); the provider must be thread-safe and
+  /// must only read state fully constructed before this call.
+  void set_snapshot_provider(SnapshotProvider provider) SIGMA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     snapshot_provider_ = std::move(provider);
   }
 
@@ -85,15 +88,15 @@ class NodeService {
   /// Read-only operations ride the probe fast lane.
   static bool is_fast_lane(net::MessageType type);
 
-  void enqueue(net::Message&& m);
-  void drain(bool fast);
-  net::Message handle(const net::Message& request);
+  void enqueue(net::Message&& m) SIGMA_EXCLUDES(mu_);
+  void drain(bool fast) SIGMA_EXCLUDES(mu_, node_mu_);
+  net::Message handle(const net::Message& request) SIGMA_REQUIRES(node_mu_)
+      SIGMA_EXCLUDES(mu_);
   void observe_depth();
 
   DedupNode& node_;
   net::Transport& transport_;
   ThreadPool& pool_;
-  SnapshotProvider snapshot_provider_;
 
   /// Cached instruments (null without a registry): inbox depth across
   /// both lanes, and per-op service time (decode + execute + encode).
@@ -102,16 +105,23 @@ class NodeService {
 
   net::EndpointId endpoint_ = 0;
 
-  /// Serializes DedupNode access across the two lanes.
-  std::mutex node_mu_;
+  /// Serializes DedupNode access across the two lanes. Outermost rank:
+  /// held across handle(), which reaches the service mu_ (error stats),
+  /// every storage lock, and — via the kStatsSnapshot provider — the
+  /// metrics registry and sibling services' stats.
+  Mutex node_mu_{LockRank::kNodeSerial};
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
+  mutable Mutex mu_{LockRank::kService};
+  CondVar idle_cv_;
   net::Channel<net::Message> inbox_;       // writes + flushes, FIFO
   net::Channel<net::Message> fast_inbox_;  // probes, duplicate tests, reads
-  bool draining_ = false;
-  bool fast_draining_ = false;
-  NodeServiceStats stats_;
+  bool draining_ SIGMA_GUARDED_BY(mu_) = false;
+  bool fast_draining_ SIGMA_GUARDED_BY(mu_) = false;
+  NodeServiceStats stats_ SIGMA_GUARDED_BY(mu_);
+  /// Copied out under mu_ and invoked unlocked: the provider reaches the
+  /// registry and sibling services' stats (same kService rank), so it
+  /// must never run while this service's mu_ is held.
+  SnapshotProvider snapshot_provider_ SIGMA_GUARDED_BY(mu_);
 };
 
 }  // namespace sigma::service

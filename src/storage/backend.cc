@@ -13,7 +13,7 @@ namespace sigma {
 
 void MemoryBackend::put(const std::string& key, ByteView data) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     blobs_[key] = to_buffer(data);
   }
   record_write(data.size());
@@ -22,7 +22,7 @@ void MemoryBackend::put(const std::string& key, ByteView data) {
 std::optional<Buffer> MemoryBackend::get(const std::string& key) {
   std::optional<Buffer> out;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = blobs_.find(key);
     if (it != blobs_.end()) out = it->second;
   }
@@ -31,17 +31,17 @@ std::optional<Buffer> MemoryBackend::get(const std::string& key) {
 }
 
 bool MemoryBackend::exists(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return blobs_.contains(key);
 }
 
 void MemoryBackend::remove(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   blobs_.erase(key);
 }
 
 std::vector<std::string> MemoryBackend::keys() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(blobs_.size());
   for (const auto& [k, v] : blobs_) out.push_back(k);
@@ -156,7 +156,7 @@ void FileBackend::put(const std::string& key, ByteView data) {
     throw_errno("close failed", tmp);
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     // Atomic publish: a crash before this rename leaves only the temp
     // file (swept on the next startup); after it, the complete blob.
     std::error_code ec;
@@ -183,7 +183,7 @@ std::optional<Buffer> FileBackend::get(const std::string& key) {
   const auto path = path_for(key);
   Buffer buf;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in) return std::nullopt;
     const std::streamsize size = in.tellg();
@@ -199,17 +199,17 @@ std::optional<Buffer> FileBackend::get(const std::string& key) {
 }
 
 bool FileBackend::exists(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return std::filesystem::exists(path_for(key));
 }
 
 void FileBackend::remove(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::filesystem::remove(path_for(key));
 }
 
 std::vector<std::string> FileBackend::keys() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     if (!entry.is_regular_file()) continue;  // foreign subdirs etc.

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,6 +16,8 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace sigma {
@@ -42,26 +43,26 @@ class StorageBackend {
   virtual void remove(const std::string& key) = 0;
   virtual std::vector<std::string> keys() = 0;
 
-  IoStats stats() const {
-    std::lock_guard lock(stats_mu_);
+  IoStats stats() const SIGMA_EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     return stats_;
   }
 
  protected:
-  void record_read(std::uint64_t bytes) {
-    std::lock_guard lock(stats_mu_);
+  void record_read(std::uint64_t bytes) SIGMA_EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     ++stats_.reads;
     stats_.bytes_read += bytes;
   }
-  void record_write(std::uint64_t bytes) {
-    std::lock_guard lock(stats_mu_);
+  void record_write(std::uint64_t bytes) SIGMA_EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     ++stats_.writes;
     stats_.bytes_written += bytes;
   }
 
  private:
-  mutable std::mutex stats_mu_;
-  IoStats stats_;
+  mutable Mutex stats_mu_{LockRank::kStorageStats};
+  IoStats stats_ SIGMA_GUARDED_BY(stats_mu_);
 };
 
 /// In-memory backend.
@@ -74,8 +75,8 @@ class MemoryBackend final : public StorageBackend {
   std::vector<std::string> keys() override;
 
  private:
-  std::mutex mu_;
-  std::unordered_map<std::string, Buffer> blobs_;
+  Mutex mu_{LockRank::kStorageBackend};
+  std::unordered_map<std::string, Buffer> blobs_ SIGMA_GUARDED_BY(mu_);
 };
 
 /// Directory-of-files backend. Keys map to file names; the directory is
@@ -122,7 +123,10 @@ class FileBackend final : public StorageBackend {
   /// Makes each put's temp file unique, so the slow write+fsync phase
   /// runs outside mu_ without two puts ever sharing a temp path.
   std::atomic<std::uint64_t> tmp_seq_{0};
-  std::mutex mu_;
+  /// Guards the externally visible directory state (rename-into-place +
+  /// directory fsync, remove) rather than any member — the files ARE the
+  /// guarded data, which is why no member carries SIGMA_GUARDED_BY(mu_).
+  Mutex mu_{LockRank::kStorageBackend};
 };
 
 }  // namespace sigma

@@ -3,13 +3,13 @@
 namespace sigma {
 
 void ChunkIndex::insert(const Fingerprint& fp, const ChunkLocation& loc) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   map_.try_emplace(fp, loc);
   ++stats_.inserts;
 }
 
 std::optional<ChunkLocation> ChunkIndex::lookup(const Fingerprint& fp) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.lookups;
   auto it = map_.find(fp);
   if (it == map_.end()) return std::nullopt;
@@ -18,24 +18,24 @@ std::optional<ChunkLocation> ChunkIndex::lookup(const Fingerprint& fp) {
 }
 
 std::optional<ChunkLocation> ChunkIndex::peek(const Fingerprint& fp) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(fp);
   if (it == map_.end()) return std::nullopt;
   return it->second;
 }
 
 bool ChunkIndex::contains(const Fingerprint& fp) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return map_.contains(fp);
 }
 
 std::size_t ChunkIndex::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 ChunkIndexStats ChunkIndex::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -10,11 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "common/fingerprint.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/container_store.h"
 
 namespace sigma {
@@ -52,9 +53,9 @@ class ChunkIndex {
   std::uint64_t estimated_ram_bytes() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<Fingerprint, ChunkLocation> map_;
-  ChunkIndexStats stats_;
+  mutable Mutex mu_{LockRank::kChunkIndex};
+  std::unordered_map<Fingerprint, ChunkLocation> map_ SIGMA_GUARDED_BY(mu_);
+  ChunkIndexStats stats_ SIGMA_GUARDED_BY(mu_);
 };
 
 }  // namespace sigma

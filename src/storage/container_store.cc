@@ -68,7 +68,7 @@ void ContainerStore::seal_locked(StreamId stream) {
 
 ChunkLocation ContainerStore::append(StreamId stream, const Fingerprint& fp,
                                      ByteView data) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Container& c = open_container_for(stream, data.size());
   c.append(fp, data);
   stored_bytes_ += data.size();
@@ -78,7 +78,7 @@ ChunkLocation ContainerStore::append(StreamId stream, const Fingerprint& fp,
 ChunkLocation ContainerStore::append_meta(StreamId stream,
                                           const Fingerprint& fp,
                                           std::uint32_t length) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Container& c = open_container_for(stream, length);
   c.append_meta(fp, length);
   stored_bytes_ += length;
@@ -86,7 +86,7 @@ ChunkLocation ContainerStore::append_meta(StreamId stream,
 }
 
 void ContainerStore::flush() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<StreamId> streams;
   streams.reserve(open_.size());
   for (const auto& [stream, c] : open_) streams.push_back(stream);
@@ -95,7 +95,7 @@ void ContainerStore::flush() {
 
 std::vector<ChunkMeta> ContainerStore::read_metadata(ContainerId id) const {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [stream, c] : open_) {
       if (c->id() == id) return c->metadata();
     }
@@ -110,7 +110,7 @@ std::vector<ChunkMeta> ContainerStore::read_metadata(ContainerId id) const {
 
 Buffer ContainerStore::read_chunk(const ChunkLocation& loc) const {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [stream, c] : open_) {
       if (c->id() == loc.container) {
         ByteView v = c->chunk_data(loc.index);
@@ -129,29 +129,29 @@ Buffer ContainerStore::read_chunk(const ChunkLocation& loc) const {
 }
 
 std::uint64_t ContainerStore::stored_bytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stored_bytes_;
 }
 
 std::uint64_t ContainerStore::container_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return next_id_;
 }
 
 std::size_t ContainerStore::open_container_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return open_.size();
 }
 
 void ContainerStore::restore_state(ContainerId min_next,
                                    std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   next_id_ = std::max(next_id_, min_next);
   stored_bytes_ += bytes;
 }
 
 bool ContainerStore::is_open(ContainerId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [stream, c] : open_) {
     if (c->id() == id) return true;
   }

@@ -6,12 +6,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/backend.h"
 #include "storage/container.h"
 
@@ -78,17 +79,20 @@ class ContainerStore {
       const std::string& key);
 
  private:
-  // Must hold mu_.
-  Container& open_container_for(StreamId stream, std::uint64_t upcoming);
-  void seal_locked(StreamId stream);
+  Container& open_container_for(StreamId stream, std::uint64_t upcoming)
+      SIGMA_REQUIRES(mu_);
+  // seal calls backend_.put under mu_ — the one storage-plane nesting
+  // (kContainerStore before kStorageBackend in the rank order).
+  void seal_locked(StreamId stream) SIGMA_REQUIRES(mu_);
 
   StorageBackend& backend_;
   const std::uint64_t capacity_bytes_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<StreamId, std::unique_ptr<Container>> open_;
-  std::uint64_t next_id_ = 0;
-  std::uint64_t stored_bytes_ = 0;
+  mutable Mutex mu_{LockRank::kContainerStore};
+  std::unordered_map<StreamId, std::unique_ptr<Container>> open_
+      SIGMA_GUARDED_BY(mu_);
+  std::uint64_t next_id_ SIGMA_GUARDED_BY(mu_) = 0;
+  std::uint64_t stored_bytes_ SIGMA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sigma

@@ -13,7 +13,7 @@ FingerprintCache::FingerprintCache(std::size_t capacity_containers)
 
 void FingerprintCache::insert(ContainerId id,
                               const std::vector<ChunkMeta>& metadata) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto existing = by_container_.find(id);
   if (existing != by_container_.end()) {
     // Refresh in place: an open container grows between prefetches, so
@@ -43,12 +43,12 @@ void FingerprintCache::insert(ContainerId id,
 }
 
 bool FingerprintCache::contains_container(ContainerId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return by_container_.contains(id);
 }
 
 std::optional<ContainerId> FingerprintCache::lookup(const Fingerprint& fp) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_fp_.find(fp);
   if (it == by_fp_.end()) {
     ++stats_.misses;
@@ -61,12 +61,12 @@ std::optional<ContainerId> FingerprintCache::lookup(const Fingerprint& fp) {
 }
 
 CacheStats FingerprintCache::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t FingerprintCache::cached_containers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

@@ -8,12 +8,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/fingerprint.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/container.h"
 
 namespace sigma {
@@ -60,16 +61,17 @@ class FingerprintCache {
   };
   using LruList = std::list<Entry>;
 
-  void evict_one_locked();
-  void touch_locked(LruList::iterator it);
+  void evict_one_locked() SIGMA_REQUIRES(mu_);
+  void touch_locked(LruList::iterator it) SIGMA_REQUIRES(mu_);
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<ContainerId, LruList::iterator> by_container_;
+  mutable Mutex mu_{LockRank::kFingerprintCache};
+  LruList lru_ SIGMA_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<ContainerId, LruList::iterator> by_container_
+      SIGMA_GUARDED_BY(mu_);
   // fp -> container holding it; rebuilt incrementally on insert/evict.
-  std::unordered_map<Fingerprint, ContainerId> by_fp_;
-  CacheStats stats_;
+  std::unordered_map<Fingerprint, ContainerId> by_fp_ SIGMA_GUARDED_BY(mu_);
+  CacheStats stats_ SIGMA_GUARDED_BY(mu_);
 };
 
 }  // namespace sigma

@@ -21,13 +21,13 @@ const SimilarityIndex::Shard& SimilarityIndex::shard_for(
 
 void SimilarityIndex::put(const Fingerprint& rfp, ContainerId container) {
   Shard& s = shard_for(rfp);
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   s.map[rfp.prefix64()] = container;
 }
 
 std::optional<ContainerId> SimilarityIndex::get(const Fingerprint& rfp) const {
   const Shard& s = shard_for(rfp);
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   auto it = s.map.find(rfp.prefix64());
   if (it == s.map.end()) return std::nullopt;
   return it->second;
@@ -57,7 +57,7 @@ std::vector<ContainerId> SimilarityIndex::match_containers(
 std::size_t SimilarityIndex::size() const {
   std::size_t total = 0;
   for (const auto& s : shards_) {
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     total += s.map.size();
   }
   return total;

@@ -12,12 +12,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/fingerprint.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/container.h"
 
 namespace sigma {
@@ -51,11 +52,12 @@ class SimilarityIndex {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    // All shards share one rank: no operation ever holds two at once.
+    mutable Mutex mu{LockRank::kSimilarityShard};
     // Keyed by the fingerprint's 64-bit prefix: the index stores a short
     // key to keep RAM low (full fingerprints stay in container metadata;
     // false sharing of a prefix is resolved by the container compare).
-    std::unordered_map<std::uint64_t, ContainerId> map;
+    std::unordered_map<std::uint64_t, ContainerId> map SIGMA_GUARDED_BY(mu);
   };
 
   Shard& shard_for(const Fingerprint& rfp);
