@@ -17,9 +17,12 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "bench_util.h"
 #include "common/random.h"
 #include "core/sigma_dedupe.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -193,6 +196,38 @@ int main(int argc, char** argv) {
               << overhead_depth << "): off "
               << TablePrinter::fmt(off.mbps, 1) << " MB/s, on "
               << TablePrinter::fmt(on.mbps, 1) << " MB/s ("
+              << TablePrinter::fmt(overhead_pct, 2) << "%)\n";
+  }
+
+  // Tracing-plane overhead gate: the same A/B with the distributed
+  // tracer off (sample 0) and on at the production default (1 trace per
+  // 256 root decisions). The disabled path is one relaxed fetch_add per
+  // super-chunk plus a branch per span site, so the two throughputs
+  // should be indistinguishable — ci.sh gates trace_overhead_pct at 2%.
+  // Best-of-3 per arm, arms interleaved, to keep scheduler noise out of
+  // the gate.
+  {
+    const std::size_t overhead_depth = over_tcp ? tcp_depth : 4;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    const std::uint32_t saved_sample = tracer.sample_every();
+    double off_mbps = 0.0;
+    double on_mbps = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      tracer.set_sample_every(0);
+      off_mbps = std::max(off_mbps, run_depth(overhead_depth, nullptr).mbps);
+      tracer.set_sample_every(obs::Tracer::kDefaultSampleEvery);
+      on_mbps = std::max(on_mbps, run_depth(overhead_depth, nullptr).mbps);
+    }
+    tracer.set_sample_every(saved_sample);
+    const double overhead_pct =
+        off_mbps > 0.0 ? (off_mbps - on_mbps) / off_mbps * 100.0 : 0.0;
+    result.metrics["trace_off_mbps"] = off_mbps;
+    result.metrics["trace_on_mbps"] = on_mbps;
+    result.metrics["trace_overhead_pct"] = overhead_pct;
+    std::cout << "tracing plane overhead (depth " << overhead_depth
+              << ", sample 1/" << obs::Tracer::kDefaultSampleEvery
+              << "): off " << TablePrinter::fmt(off_mbps, 1)
+              << " MB/s, on " << TablePrinter::fmt(on_mbps, 1) << " MB/s ("
               << TablePrinter::fmt(overhead_pct, 2) << "%)\n";
   }
 

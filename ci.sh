@@ -20,23 +20,37 @@ scripts/persist_smoke.sh build
 # Static analysis (no-op exit 0 on machines without clang-tidy).
 scripts/run_clang_tidy.sh build
 
-# The two gate benches must run end-to-end (small scale) and emit valid
+# The gate benches must run end-to-end (small scale) and emit valid
 # machine-readable BENCH_<name>.json documents; the pipeline bench must
-# also carry the metrics-plane overhead A/B numbers.
-BENCH_OUT="$(mktemp -d)"
-trap 'rm -rf "$BENCH_OUT"' EXIT
-SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT" \
-    ./build/bench/bench_fig_probe_latency
-SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT" \
-    ./build/bench/bench_fig_transport_pipeline
-SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" SIGMA_BENCH_JSON_DIR="$BENCH_OUT" \
-    ./build/bench/bench_fig7_messages
+# also carry the metrics-plane and tracing-plane overhead A/B numbers,
+# and the tracing overhead (default 1/256 sampling vs off) is gated at
+# 2% — the trace plane must stay invisible when it isn't being read.
+# CI sets SIGMA_BENCH_JSON_DIR so the BENCH_*.json files survive as
+# uploaded artifacts; standalone runs use (and clean up) a temp dir.
+if [[ -n "${SIGMA_BENCH_JSON_DIR:-}" ]]; then
+  BENCH_OUT="$SIGMA_BENCH_JSON_DIR"
+  mkdir -p "$BENCH_OUT"
+else
+  BENCH_OUT="$(mktemp -d /tmp/sigma-bench.XXXXXX)"
+  trap 'rm -rf "$BENCH_OUT"' EXIT
+fi
+for b in fig_probe_latency fig_transport_pipeline fig7_messages \
+         fig4a_client_throughput table2_workloads; do
+  SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.05}" \
+      SIGMA_BENCH_JSON_DIR="$BENCH_OUT" "./build/bench/bench_$b"
+done
 python3 scripts/check_bench_json.py "$BENCH_OUT/BENCH_fig_probe_latency.json"
 python3 scripts/check_bench_json.py "$BENCH_OUT/BENCH_fig7_messages.json"
+python3 scripts/check_bench_json.py \
+    "$BENCH_OUT/BENCH_fig4a_client_throughput.json"
+python3 scripts/check_bench_json.py "$BENCH_OUT/BENCH_table2_workloads.json"
 python3 scripts/check_bench_json.py \
     --require-metric metrics_off_mbps \
     --require-metric metrics_on_mbps \
     --require-metric metrics_overhead_pct \
+    --require-metric trace_off_mbps \
+    --require-metric trace_on_mbps \
+    --max-metric trace_overhead_pct=2.0 \
     "$BENCH_OUT/BENCH_fig_transport_pipeline.json"
 
 if [[ "${SIGMA_SKIP_SANITIZERS:-0}" != "1" ]]; then

@@ -25,6 +25,7 @@
 
 #include "common/stats.h"
 #include "core/sigma_dedupe.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace sigma;
@@ -49,12 +50,28 @@ int main(int argc, char** argv) {
       config.transport.mode = TransportMode::kTcp;
       config.transport.rpc_timeout_ms = 10000;
       config.num_nodes = config.transport.tcp_nodes.size();
+    } else if (arg == "--trace-sample" && i + 1 < argc) {
+      try {
+        obs::Tracer::instance().set_sample_every(static_cast<std::uint32_t>(
+            net::parse_number(argv[++i], 0xFFFFFFFFul,
+                              "value for --trace-sample")));
+      } catch (const std::exception& e) {
+        std::cerr << "transport_cluster: " << e.what() << "\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: transport_cluster [--tcp host:port[:endpoint],...]"
-                << "\n";
+                << " [--trace-sample N]\n"
+                << "  --trace-sample N  sample one distributed trace per N\n"
+                << "                    super-chunks; 0 disables (default "
+                << obs::Tracer::kDefaultSampleEvery << ");\n"
+                << "                    SIGMA_TRACE_DUMP=FILE writes the\n"
+                << "                    client's spans at exit for\n"
+                << "                    fleet_trace --local\n";
       return 2;
     }
   }
+  obs::Tracer::instance().set_process_label("transport_cluster");
 
   // Two backup sessions: the second repeats most of the first, so its
   // duplicate super-chunks never ship payload bytes (source dedup).

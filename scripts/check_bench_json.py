@@ -9,6 +9,7 @@ Schema (version 1):
 Usage:
   check_bench_json.py FILE [FILE...]
   check_bench_json.py --require-metric NAME FILE   # NAME must be present
+  check_bench_json.py --max-metric NAME=V FILE     # NAME present and <= V
 
 Exits non-zero (listing every problem) if any file is missing, unparsable
 or schema-violating, so ci.sh can gate on the benches actually producing
@@ -19,7 +20,7 @@ import math
 import sys
 
 
-def check(path, required_metrics):
+def check(path, required_metrics, max_metrics):
     problems = []
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -59,12 +60,22 @@ def check(path, required_metrics):
         for name in required_metrics:
             if name not in metrics:
                 problems.append('required metric %r is missing' % name)
+        for name, bound in max_metrics:
+            if name not in metrics:
+                problems.append('gated metric %r is missing' % name)
+            elif isinstance(metrics[name], (int, float)) \
+                    and not isinstance(metrics[name], bool) \
+                    and math.isfinite(metrics[name]) \
+                    and metrics[name] > bound:
+                problems.append('metric %r is %r, exceeds gate %r'
+                                % (name, metrics[name], bound))
 
     return problems
 
 
 def main(argv):
     required = []
+    gated = []
     files = []
     i = 1
     while i < len(argv):
@@ -75,6 +86,19 @@ def main(argv):
                 return 2
             required.append(argv[i + 1])
             i += 2
+        elif argv[i] == "--max-metric":
+            if i + 1 >= len(argv) or "=" not in argv[i + 1]:
+                print("check_bench_json: --max-metric needs NAME=VALUE",
+                      file=sys.stderr)
+                return 2
+            name, _, bound = argv[i + 1].partition("=")
+            try:
+                gated.append((name, float(bound)))
+            except ValueError:
+                print("check_bench_json: bad --max-metric bound %r" % bound,
+                      file=sys.stderr)
+                return 2
+            i += 2
         else:
             files.append(argv[i])
             i += 1
@@ -84,7 +108,7 @@ def main(argv):
 
     failed = False
     for path in files:
-        problems = check(path, required)
+        problems = check(path, required, gated)
         if problems:
             failed = True
             for p in problems:

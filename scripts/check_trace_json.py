@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON emitted by fleet_trace.
+
+Schema checks: the document must be an object with a "traceEvents" list;
+every complete ("ph": "X") event needs name/pid/tid/ts/dur and args
+carrying trace_id, span_id and parent_span_id as hex strings; metadata
+("ph": "M") events are allowed through.
+
+With --require-cross-process, at least one trace id must have spans from
+two or more distinct pids AND every one of that trace's non-root parent
+edges resolving to a span of the same trace — the merged timeline
+actually stitches one request across processes, which is the point of
+the plane. (Other traces may be partial: a fleet always has clients
+whose flight recorders were never dumped.)
+
+Usage:
+  check_trace_json.py [--require-cross-process] FILE [FILE...]
+
+Exits non-zero (listing every problem) on any violation, so smoke tests
+can gate on fleet_trace producing a loadable, well-linked document.
+"""
+import json
+import sys
+
+
+def is_hex_id(value, digits):
+    return (isinstance(value, str) and len(value) == digits
+            and all(c in "0123456789abcdef" for c in value))
+
+
+def check(path, require_cross_process):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["cannot read: %s" % e]
+    except ValueError as e:
+        return ["not valid JSON: %s" % e]
+
+    if not isinstance(doc, dict):
+        return ["top level is %s, expected object" % type(doc).__name__]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ['"traceEvents" must be a list']
+
+    spans = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append("event %d is not an object" % i)
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            problems.append('event %d has unexpected "ph": %r' % (i, ph))
+            continue
+        for field in ("name", "pid", "tid", "ts", "dur"):
+            if field not in ev:
+                problems.append('event %d ("%s") missing %r'
+                                % (i, ev.get("name", "?"), field))
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            problems.append("event %d has no args" % i)
+            continue
+        if not is_hex_id(args.get("trace_id"), 32):
+            problems.append("event %d: bad args.trace_id %r"
+                            % (i, args.get("trace_id")))
+            continue
+        if not is_hex_id(args.get("span_id"), 16):
+            problems.append("event %d: bad args.span_id %r"
+                            % (i, args.get("span_id")))
+            continue
+        if not is_hex_id(args.get("parent_span_id"), 16):
+            problems.append("event %d: bad args.parent_span_id %r"
+                            % (i, args.get("parent_span_id")))
+            continue
+        spans.append(ev)
+
+    if require_cross_process:
+        by_trace = {}
+        for ev in spans:
+            by_trace.setdefault(ev["args"]["trace_id"], []).append(ev)
+        cross = stitched = 0
+        for evs in by_trace.values():
+            if len({ev["pid"] for ev in evs}) < 2:
+                continue
+            cross += 1
+            ids = {ev["args"]["span_id"] for ev in evs}
+            if all(int(ev["args"]["parent_span_id"], 16) == 0
+                   or ev["args"]["parent_span_id"] in ids for ev in evs):
+                stitched += 1
+        if stitched == 0:
+            problems.append(
+                "no fully-linked trace spans 2+ distinct pids "
+                "(%d traces, %d cross-process but with dangling parents)"
+                % (len(by_trace), cross))
+
+    return problems
+
+
+def main(argv):
+    require_cross_process = False
+    files = []
+    for arg in argv[1:]:
+        if arg == "--require-cross-process":
+            require_cross_process = True
+        else:
+            files.append(arg)
+    if not files:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failed = False
+    for path in files:
+        problems = check(path, require_cross_process)
+        if problems:
+            failed = True
+            for p in problems:
+                print("%s: %s" % (path, p), file=sys.stderr)
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            xs = [e for e in doc["traceEvents"]
+                  if isinstance(e, dict) and e.get("ph") == "X"]
+            traces = {e["args"]["trace_id"] for e in xs}
+            print("%s: ok (%d spans, %d traces)"
+                  % (path, len(xs), len(traces)))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

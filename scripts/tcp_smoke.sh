@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Multi-process smoke test: launch two node_server daemons on localhost
 # ephemeral ports (4 nodes total), run a backup + restore through them
-# over TCP with transport_cluster, check the restore verifies, and scrape
+# over TCP with transport_cluster, check the restore verifies, scrape
 # the fleet's metrics plane with fleet_stats --json (RPCs were served,
-# zero handshake failures).
+# zero handshake failures), then run a fully-traced backup (sample 1),
+# merge the daemons' flight recorders + the client's exit dump with
+# fleet_trace, and gate the Chrome trace JSON: parseable, and at least
+# one trace stitched across 2+ OS processes with resolvable parent edges.
 # Usage: scripts/tcp_smoke.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +30,7 @@ trap cleanup EXIT
 
 start_daemon() {  # $1 = log file, $2 = first endpoint id
   "$NODE_SERVER" --port 0 --nodes 2 --first-endpoint "$2" \
+      --trace-dump "$1.trace.bin" \
       > "$1" 2>&1 &
   PIDS+=($!)
   for _ in $(seq 1 100); do
@@ -45,7 +49,10 @@ NODES="127.0.0.1:$P1:100,127.0.0.1:$P1:101,127.0.0.1:$P2:102,127.0.0.1:$P2:103"
 echo "== fleet: $NODES"
 
 echo "== backup + restore over TCP"
-OUT=$(timeout 120 "$CLIENT" --tcp "$NODES")
+# --trace-sample 0: this client never dumps its flight recorder, so any
+# trace it started would show up daemon-side only (dangling by design);
+# the traced run below is the one the trace gate inspects.
+OUT=$(timeout 120 "$CLIENT" --trace-sample 0 --tcp "$NODES")
 echo "$OUT"
 grep -q "(verified)" <<< "$OUT" || { echo "FAIL: restore not verified"; exit 1; }
 
@@ -66,6 +73,31 @@ assert merged.get("tcp.handshake_failures", 0) == 0, \
 print("fleet_stats: %d daemons, %d requests served, 0 handshake failures"
       % (len(doc["daemons"]), served))
 PY
+
+echo "== traced backup (sample=1) + fleet_trace merge"
+FLEET_TRACE="$BUILD/tools/fleet_trace"
+[[ -x "$FLEET_TRACE" ]] || { echo "missing $FLEET_TRACE (build first)"; exit 1; }
+SIGMA_TRACE_DUMP="$WORK/client-trace.bin" \
+    timeout 120 "$CLIENT" --trace-sample 1 --tcp "$NODES" > /dev/null
+[[ -s "$WORK/client-trace.bin" ]] || { echo "FAIL: client wrote no trace dump"; exit 1; }
+
+# SIGUSR2 asks a daemon for its flight recorder without disturbing it.
+kill -USR2 "${PIDS[0]}"
+for _ in $(seq 1 100); do
+  grep -q "TRACE (SIGUSR2)" "$WORK/d1.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "TRACE (SIGUSR2)" "$WORK/d1.log" || { echo "FAIL: no SIGUSR2 dump"; exit 1; }
+[[ -s "$WORK/d1.log.trace.bin" ]] || { echo "FAIL: SIGUSR2 dump file empty"; exit 1; }
+
+timeout 60 "$FLEET_TRACE" --nodes "$NODES" --local "$WORK/client-trace.bin" \
+    --out "$WORK/trace.json"
+python3 scripts/check_trace_json.py --require-cross-process "$WORK/trace.json"
+
+# The SIGUSR2 file is the same format fleet_trace merges via --local.
+timeout 60 "$FLEET_TRACE" --local "$WORK/d1.log.trace.bin" \
+    --local "$WORK/client-trace.bin" --out "$WORK/trace-local.json"
+python3 scripts/check_trace_json.py --require-cross-process "$WORK/trace-local.json"
 
 if [[ -x "$BENCH" ]]; then
   echo "== pipeline bench over TCP (depth 4, small scale)"

@@ -11,6 +11,7 @@
 #include "net/rpc.h"
 #include "net/tcp/tcp_transport.h"
 #include "node/probe_set.h"
+#include "obs/trace.h"
 #include "service/node_client.h"
 #include "service/node_service.h"
 #include "service/probe_set.h"
@@ -56,9 +57,13 @@ struct Cluster::TransportRuntime {
           "node" + std::to_string(services.size())));
       if (metrics) {
         // In-process fleet: every service answers kStatsSnapshot with the
-        // shared registry's view, same as a daemon would.
-        services.back()->set_snapshot_provider(
-            [metrics] { return metrics->snapshot(); });
+        // shared registry's view, same as a daemon would (trace counters
+        // folded in at scrape time like a daemon's struct stats).
+        services.back()->set_snapshot_provider([metrics] {
+          obs::MetricsSnapshot snap = metrics->snapshot();
+          obs::fold_trace_stats(snap);
+          return snap;
+        });
       }
     }
     rpc = std::make_unique<net::RpcEndpoint>(*transport, metrics);
@@ -270,6 +275,9 @@ NodeId Cluster::route_unit(const std::vector<ChunkRecord>& unit,
   // cost, not node write latency.
   NodeId target;
   {
+    // Child of the placement root span (no-op on unsampled placements):
+    // the probe gather and every probe RPC nest under this decision.
+    obs::SpanScope span("route.decision");
     obs::ScopedTimer timer(route_us_);
     target = router_->route(unit, *probe_plane_, ctx);
   }
@@ -332,6 +340,9 @@ void Cluster::backup_super_chunk_stream(const TraceBackup& backup,
 
   auto dispatch = [&](SuperChunk&& sc) {
     if (sc.chunks.empty()) return;
+    // Root sampling decision: one trace per super-chunk placement, from
+    // the routing decision through the write RPC to the daemon's store.
+    obs::SpanScope trace(obs::SpanScope::Root{}, "sc.place");
     RouteContext ctx;
     const NodeId target = route_unit(sc.chunks, ctx);
     messages_.pre_routing += ctx.pre_routing_messages;
@@ -352,6 +363,7 @@ void Cluster::backup_files_extreme_binning(const TraceBackup& backup,
                                            StreamId stream) {
   for (const auto& file : backup.files) {
     if (file.chunks.empty()) continue;
+    obs::SpanScope trace(obs::SpanScope::Root{}, "sc.place");
     RouteContext ctx;
     const NodeId target = route_unit(file.chunks, ctx);
     messages_.pre_routing += ctx.pre_routing_messages;
@@ -393,7 +405,13 @@ void Cluster::backup_chunk_dht(const TraceBackup& backup, StreamId stream) {
   for (const auto& file : backup.files) {
     for (const auto& chunk : file.chunks) {
       RouteContext ctx;
-      const NodeId target = route_unit({chunk}, ctx);
+      NodeId target;
+      {
+        // DHT mode batches writes outside the decision, so the root
+        // covers just the per-chunk routing hop.
+        obs::SpanScope trace(obs::SpanScope::Root{}, "chunk.route");
+        target = route_unit({chunk}, ctx);
+      }
       messages_.pre_routing += ctx.pre_routing_messages;
       messages_.after_routing += 1;
       logical_bytes_ += chunk.size;
@@ -417,6 +435,11 @@ NodeId Cluster::place_super_chunk(const SuperChunk& super_chunk,
   // BackupClients interleave at super-chunk granularity (writes still
   // overlap downstream through the pipeline).
   MutexLock lock(route_mu_);
+  // Root sampling decision: one trace per super-chunk placement. The
+  // route decision, probe gather, probe RPCs and the write RPC (and,
+  // through the wire context, the daemon's service + storage spans) all
+  // descend from this span.
+  obs::SpanScope trace(obs::SpanScope::Root{}, "sc.place");
   RouteContext ctx;
   const NodeId target = route_unit(super_chunk.chunks, ctx);
   messages_.pre_routing += ctx.pre_routing_messages;

@@ -13,6 +13,7 @@
 //   node_mu_               ->  every storage lock  (DedupNode internals)
 //   ContainerStore::mu_    ->  StorageBackend      (seal writes the blob)
 //   node_mu_               ->  Transport, Registry (kStatsSnapshot scrape)
+//   Registry               ->  trace ring registry (scrape folds tracer)
 //   anything               ->  logging             (log lines everywhere)
 //
 // When checking is enabled (debug builds, -DSIGMA_LOCK_RANKS=ON builds,
@@ -77,6 +78,11 @@ enum class LockRank : int {
 
   // ---- Leaves (safe to take from anywhere) -----------------------------
   kMetricsRegistry = 70,
+  /// Tracer ring registration/iteration only — the span emit hot path is
+  /// lock-free (seqlock rings), so recording a span never takes a lock.
+  /// Ranked above kMetricsRegistry: a kStatsSnapshot scrape folds trace
+  /// counters while walking the registry.
+  kTraceRegistry = 72,
   kLogging = 80,
 };
 

@@ -22,6 +22,8 @@ const char* to_string(MessageType type) {
       return "RoutingProbe";
     case MessageType::kStatsSnapshot:
       return "StatsSnapshot";
+    case MessageType::kTraceDump:
+      return "TraceDump";
   }
   return "?";
 }

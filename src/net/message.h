@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "obs/trace_context.h"
 
 namespace sigma::net {
 
@@ -31,13 +32,15 @@ enum class MessageType : std::uint8_t {
                       // candidate per routing decision)
   kStatsSnapshot,     // () -> serialized obs::MetricsSnapshot (the
                       // daemon-wide metrics scrape fleet_stats drains)
+  kTraceDump,         // () -> serialized obs::SpanDump (the flight-
+                      // recorder scrape fleet_trace merges)
 };
 
 /// Highest valid op byte — the TCP frame decoder rejects anything above
 /// it as a protocol error. Keep in sync when appending operations, or
 /// remote peers will drop the new op's frames.
 inline constexpr std::uint8_t kMaxMessageType =
-    static_cast<std::uint8_t>(MessageType::kStatsSnapshot);
+    static_cast<std::uint8_t>(MessageType::kTraceDump);
 
 const char* to_string(MessageType type);
 
@@ -55,13 +58,33 @@ struct Message {
   std::uint64_t correlation_id = 0;
   EndpointId src = 0;
   EndpointId dst = 0;
+  /// Distributed-tracing context. Default (unsampled) costs nothing on
+  /// the wire; a sampled context travels as the optional trace block
+  /// (flags bit kFlagTrace), making the receiver's spans children of the
+  /// sender's across process boundaries.
+  obs::TraceContext trace;
   Buffer body;
 
-  /// Fixed header size a socket framing would use (type + kind +
+  /// Fixed header size a socket framing would use (type + kind + flags +
   /// correlation id + src + dst + body length).
-  static constexpr std::size_t kHeaderBytes = 1 + 1 + 8 + 4 + 4 + 4;
+  static constexpr std::size_t kHeaderBytes = 1 + 1 + 1 + 8 + 4 + 4 + 4;
 
-  std::size_t wire_size() const { return kHeaderBytes + body.size(); }
+  /// Flags bit: a trace block (kTraceBlockBytes) sits between the header
+  /// and the body. Any other bit is a protocol error — new flags need a
+  /// version bump.
+  static constexpr std::uint8_t kFlagTrace = 0x01;
+  static constexpr std::uint8_t kKnownFlags = kFlagTrace;
+
+  /// Trace block: trace id (hi, lo) + span id + parent span id. The
+  /// sampled bit is implied by the block's presence.
+  static constexpr std::size_t kTraceBlockBytes = 4 * 8;
+
+  std::uint8_t flags() const { return trace.sampled ? kFlagTrace : 0; }
+
+  std::size_t wire_size() const {
+    return kHeaderBytes + (trace.sampled ? kTraceBlockBytes : 0) +
+           body.size();
+  }
 
   /// Build the response to `request` with the given body.
   static Message response_to(const Message& request, Buffer body) {

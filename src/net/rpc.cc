@@ -1,5 +1,7 @@
 #include "net/rpc.h"
 
+#include "obs/trace.h"
+
 namespace sigma::net {
 
 Buffer PendingCall::get(std::chrono::milliseconds timeout) {
@@ -76,6 +78,15 @@ PendingCall RpcEndpoint::call(EndpointId dst, MessageType type, Buffer body) {
   m.src = id_;
   m.dst = dst;
   m.body = std::move(body);
+  // Sampled caller: this call gets its own span, and the request carries
+  // the span's context so the service's span nests under it remotely.
+  const obs::TraceContext& current = obs::Tracer::current_context();
+  if (current.sampled) {
+    state->trace = obs::Tracer::instance().child_of(current);
+    state->trace_start_unix_us = obs::unix_micros();
+    state->trace_start = std::chrono::steady_clock::now();
+    m.trace = state->trace;
+  }
   {
     MutexLock lock(mu_);
     m.correlation_id = next_correlation_++;
@@ -136,6 +147,16 @@ void RpcEndpoint::on_message(Message&& m) {
     pending_.erase(it);
   }
   if (in_flight_) in_flight_->sub(1);
+  // The call span closes when the response settles, on whichever thread
+  // delivers it (transport loop / loopback sender) — its ring, not the
+  // caller's, which is fine: rings are merged per process at scrape.
+  if (state->trace.sampled) {
+    const auto dur = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - state->trace_start);
+    obs::Tracer::instance().emit(state->trace, "rpc.", to_string(state->type),
+                                 state->trace_start_unix_us,
+                                 static_cast<std::uint64_t>(dur.count()));
+  }
   {
     MutexLock lock(state->mu);
     state->done = true;

@@ -71,6 +71,13 @@ class PendingCall {
     std::string error_text SIGMA_GUARDED_BY(mu);
     MessageType type = MessageType::kResemblanceProbe;  // set before send
     std::uint64_t correlation_id = 0;                   // set before send
+    /// The call's span (child of the caller's current context), stamped
+    /// onto the request; the span is recorded when the response settles.
+    /// Written before the call is published in pending_, read after it is
+    /// looked up there — ordered by the endpoint's mu_, so no lock here.
+    obs::TraceContext trace;                     // set before send
+    std::uint64_t trace_start_unix_us = 0;       // set before send
+    std::chrono::steady_clock::time_point trace_start{};  // set before send
   };
 
   PendingCall(RpcEndpoint* endpoint, std::shared_ptr<State> state)

@@ -39,10 +39,17 @@ Buffer encode_frame(const Message& m) {
   WireWriter w(m.wire_size());
   w.u8(static_cast<std::uint8_t>(m.type));
   w.u8(static_cast<std::uint8_t>(m.kind));
+  w.u8(m.flags());
   w.u64(m.correlation_id);
   w.u32(m.src);
   w.u32(m.dst);
   w.u32(static_cast<std::uint32_t>(m.body.size()));
+  if (m.trace.sampled) {
+    w.u64(m.trace.trace_hi);
+    w.u64(m.trace.trace_lo);
+    w.u64(m.trace.span_id);
+    w.u64(m.trace.parent_span_id);
+  }
   Buffer out = w.take();
   out.insert(out.end(), m.body.begin(), m.body.end());
   return out;
@@ -63,6 +70,7 @@ std::optional<Message> FrameDecoder::next() {
   WireReader r(header);
   const std::uint8_t type = r.u8();
   const std::uint8_t kind = r.u8();
+  const std::uint8_t flags = r.u8();
   const std::uint64_t correlation = r.u64();
   const EndpointId src = r.u32();
   const EndpointId dst = r.u32();
@@ -75,12 +83,19 @@ std::optional<Message> FrameDecoder::next() {
   if (kind > kMaxMessageKind) {
     throw FrameError("frame: bad kind byte " + std::to_string(kind));
   }
+  if ((flags & ~Message::kKnownFlags) != 0) {
+    throw FrameError("frame: unknown flags byte " + std::to_string(flags));
+  }
   if (body_len > max_body_bytes_) {
     throw FrameError("frame: body length " + std::to_string(body_len) +
                      " exceeds limit " + std::to_string(max_body_bytes_));
   }
-  if (buf_.size() - pos_ < Message::kHeaderBytes + body_len) {
-    return std::nullopt;  // body still in flight
+  const std::size_t trace_bytes =
+      (flags & Message::kFlagTrace) ? Message::kTraceBlockBytes : 0;
+  const std::size_t frame_bytes =
+      Message::kHeaderBytes + trace_bytes + body_len;
+  if (buf_.size() - pos_ < frame_bytes) {
+    return std::nullopt;  // trace block or body still in flight
   }
   Message m;
   m.type = static_cast<MessageType>(type);
@@ -88,10 +103,19 @@ std::optional<Message> FrameDecoder::next() {
   m.correlation_id = correlation;
   m.src = src;
   m.dst = dst;
-  const auto body_begin =
-      buf_.begin() + static_cast<long>(pos_ + Message::kHeaderBytes);
+  if (trace_bytes > 0) {
+    WireReader t(ByteView{buf_.data() + pos_ + Message::kHeaderBytes,
+                          Message::kTraceBlockBytes});
+    m.trace.trace_hi = t.u64();
+    m.trace.trace_lo = t.u64();
+    m.trace.span_id = t.u64();
+    m.trace.parent_span_id = t.u64();
+    m.trace.sampled = true;
+  }
+  const auto body_begin = buf_.begin() + static_cast<long>(
+                              pos_ + Message::kHeaderBytes + trace_bytes);
   m.body.assign(body_begin, body_begin + static_cast<long>(body_len));
-  pos_ += Message::kHeaderBytes + body_len;
+  pos_ += frame_bytes;
   return m;
 }
 

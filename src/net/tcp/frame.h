@@ -3,9 +3,10 @@
 //   * one HELLO each way — magic, protocol version and peer role
 //     (handshake; a peer speaking anything else is disconnected), then
 //   * a stream of frames, each a Message serialized verbatim: the fixed
-//     header of Message::kHeaderBytes (type, kind, correlation id, src,
-//     dst, body length — all little-endian via the wire.h codec) followed
-//     by the body bytes.
+//     header of Message::kHeaderBytes (type, kind, flags, correlation id,
+//     src, dst, body length — all little-endian via the wire.h codec),
+//     then — when flags carries Message::kFlagTrace — the 32-byte trace
+//     block (trace id hi/lo, span id, parent span id), then the body.
 //
 // Decoding is incremental (feed() partial reads, next() complete
 // messages) and defensive: header fields are validated before the body is
@@ -34,8 +35,9 @@ inline constexpr std::uint32_t kFrameMagic = 0x314D4753;
 /// Bump whenever the wire contract changes (new ops, header layout), so
 /// mixed-version peers fail fast at the handshake instead of dying on
 /// the first unknown frame. v2: fused kRoutingProbe op. v3: kStatsSnapshot
-/// metrics scrape.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// metrics scrape. v4: header flags byte + optional trace block,
+/// kTraceDump flight-recorder scrape.
+inline constexpr std::uint8_t kProtocolVersion = 4;
 
 /// Peer roles exchanged in the HELLO (informational, for diagnostics).
 enum class PeerRole : std::uint8_t { kClient = 0, kServer = 1 };

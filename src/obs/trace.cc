@@ -1,0 +1,312 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/hash_util.h"
+#include "obs/trace_wire.h"
+
+namespace sigma::obs {
+namespace {
+
+void pack_record(const SpanRecord& rec, std::uint64_t* words) {
+  words[0] = rec.trace_hi;
+  words[1] = rec.trace_lo;
+  words[2] = rec.span_id;
+  words[3] = rec.parent_span_id;
+  words[4] = rec.start_unix_us;
+  words[5] = rec.duration_us;
+  words[6] = rec.tid;
+  std::memcpy(&words[7], rec.name, kSpanNameBytes);
+}
+
+void unpack_record(const std::uint64_t* words, SpanRecord* rec) {
+  rec->trace_hi = words[0];
+  rec->trace_lo = words[1];
+  rec->span_id = words[2];
+  rec->parent_span_id = words[3];
+  rec->start_unix_us = words[4];
+  rec->duration_us = words[5];
+  rec->tid = static_cast<std::uint32_t>(words[6]);
+  std::memcpy(rec->name, &words[7], kSpanNameBytes);
+}
+
+/// SIGMA_TRACE_DUMP target, latched at Tracer construction (the atexit
+/// handler must not read the environment during shutdown).
+std::string& dump_path() {
+  static std::string path;
+  return path;
+}
+
+void atexit_dump() {
+  try {
+    Tracer::instance().dump_to_file(dump_path());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace: exit dump failed: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
+void SpanRing::emit(const SpanRecord& rec) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[head & (kSlots - 1)];
+  // Seqlock write: odd sequence while the words are in flux. Fence-free
+  // formulation (GCC's TSan rejects atomic_thread_fence): each data word
+  // is a release store, so a reader that sees any new word also sees the
+  // odd sequence on its recheck; the final release store publishes the
+  // words before the even sequence.
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);
+  std::uint64_t words[kDataWords];
+  pack_record(rec, words);
+  for (std::size_t i = 0; i < kDataWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_release);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);
+  head_.store(head + 1, std::memory_order_release);
+}
+
+bool SpanRing::read_slot(const Slot& slot, SpanRecord* out) const {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0) return false;  // never written
+    if (s1 & 1) continue;       // write in progress
+    std::uint64_t words[kDataWords];
+    for (std::size_t i = 0; i < kDataWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_acquire);
+    }
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+    unpack_record(words, out);
+    return true;
+  }
+  return false;  // writer kept lapping us; skip rather than spin
+}
+
+void SpanRing::collect(std::vector<SpanRecord>& out) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t first = head > kSlots ? head - kSlots : 0;
+  for (std::uint64_t i = first; i < head; ++i) {
+    SpanRecord rec;
+    if (read_slot(slots_[i & (kSlots - 1)], &rec)) out.push_back(rec);
+  }
+}
+
+Tracer& Tracer::instance() {
+  // Leaked: rings must stay valid for threads that emit during teardown
+  // and for the atexit dump.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer() {
+  // Ids must differ across the fleet's processes without coordination:
+  // mix the pid and the wall clock into every id this process mints.
+  seed_ = hash_combine64(static_cast<std::uint64_t>(::getpid()), unix_micros());
+  if (const char* env = std::getenv("SIGMA_TRACE_SAMPLE")) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(env, &end, 10);
+    if (end && *end == '\0' && n <= 0xFFFFFFFFul) {
+      sample_every_.store(static_cast<std::uint32_t>(n),
+                          std::memory_order_relaxed);
+    }
+  }
+  if (const char* env = std::getenv("SIGMA_TRACE_DUMP")) {
+    if (*env != '\0') {
+      dump_path() = env;
+      std::atexit(&atexit_dump);
+    }
+  }
+}
+
+void Tracer::set_sample_every(std::uint32_t n) {
+  sample_every_.store(n, std::memory_order_relaxed);
+}
+
+void Tracer::set_process_label(const std::string& label) {
+  MutexLock lock(rings_mu_);
+  label_ = label;
+}
+
+std::string Tracer::process_label() const {
+  MutexLock lock(rings_mu_);
+  return label_;
+}
+
+std::uint64_t Tracer::next_span_id() {
+  const std::uint64_t id =
+      mix64(seed_ ^ (span_seq_.fetch_add(1, std::memory_order_relaxed) +
+                     0x9E3779B97F4A7C15ull));
+  return id ? id : 1;  // 0 means "root" in parent links
+}
+
+TraceContext Tracer::begin_trace() {
+  TraceContext ctx;
+  const std::uint64_t n = decisions_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0 || n % every != 0) return ctx;
+  traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  ctx.trace_hi = mix64(seed_ ^ seq);
+  ctx.trace_lo = hash_combine64(seed_, seq);
+  if (ctx.trace_hi == 0 && ctx.trace_lo == 0) ctx.trace_lo = 1;
+  ctx.span_id = next_span_id();
+  ctx.parent_span_id = 0;
+  ctx.sampled = true;
+  return ctx;
+}
+
+TraceContext Tracer::child_of(const TraceContext& parent) {
+  TraceContext ctx;
+  if (!parent.sampled) return ctx;
+  ctx.trace_hi = parent.trace_hi;
+  ctx.trace_lo = parent.trace_lo;
+  ctx.parent_span_id = parent.span_id;
+  ctx.span_id = next_span_id();
+  ctx.sampled = true;
+  return ctx;
+}
+
+SpanRing& Tracer::thread_ring() {
+  thread_local SpanRing* ring = nullptr;
+  if (!ring) {
+    MutexLock lock(rings_mu_);
+    rings_.push_back(std::make_unique<SpanRing>(
+        static_cast<std::uint32_t>(rings_.size() + 1)));
+    ring = rings_.back().get();
+  }
+  return *ring;
+}
+
+void Tracer::emit(const TraceContext& ctx, const char* name,
+                  const char* suffix, std::uint64_t start_unix_us,
+                  std::uint64_t duration_us) {
+  if (!ctx.sampled) return;
+  SpanRing& ring = thread_ring();
+  SpanRecord rec;
+  rec.trace_hi = ctx.trace_hi;
+  rec.trace_lo = ctx.trace_lo;
+  rec.span_id = ctx.span_id;
+  rec.parent_span_id = ctx.parent_span_id;
+  rec.start_unix_us = start_unix_us;
+  rec.duration_us = duration_us;
+  rec.tid = ring.tid();
+  std::size_t n = 0;
+  for (const char* p = name; p && *p && n < kSpanNameBytes; ++p) {
+    rec.name[n++] = *p;
+  }
+  for (const char* p = suffix; p && *p && n < kSpanNameBytes; ++p) {
+    rec.name[n++] = *p;
+  }
+  ring.emit(rec);
+}
+
+std::vector<SpanRecord> Tracer::collect() const {
+  std::vector<const SpanRing*> rings;
+  {
+    MutexLock lock(rings_mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  std::vector<SpanRecord> out;
+  for (const SpanRing* ring : rings) ring->collect(out);
+  // A scrape racing a wrap can read one slot twice (old index, lapped
+  // content); span ids are unique, so dedup restores exactness.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(out.size());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (seen.insert(out[i].span_id).second) out[kept++] = out[i];
+  }
+  out.resize(kept);
+  return out;
+}
+
+TraceStats Tracer::stats() const {
+  TraceStats t;
+  t.traces_started = decisions_.load(std::memory_order_relaxed);
+  t.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
+  MutexLock lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    t.spans_emitted += ring->emitted();
+    t.spans_dropped += ring->dropped();
+  }
+  return t;
+}
+
+TraceContext& Tracer::current_context() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+void Tracer::dump_to_file(const std::string& path) const {
+  SpanDump dump;
+  dump.pid = static_cast<std::uint64_t>(::getpid());
+  dump.process = process_label();
+  if (dump.process.empty()) {
+    dump.process = "pid" + std::to_string(dump.pid);
+  }
+  dump.spans = collect();
+  write_span_dump_file(path, dump);
+}
+
+std::uint64_t unix_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanScope::SpanScope(Root, const char* name) : name_(name) {
+  ctx_ = Tracer::instance().begin_trace();
+  // Swap the current context even when unsampled: children of this scope
+  // must see this trace's decision, not a stale outer context.
+  saved_ = Tracer::current_context();
+  Tracer::current_context() = ctx_;
+  restore_ = true;
+  enter();
+}
+
+SpanScope::SpanScope(const char* name, const char* suffix)
+    : name_(name), suffix_(suffix) {
+  const TraceContext& parent = Tracer::current_context();
+  if (!parent.sampled) return;  // dead scope, zero work
+  ctx_ = Tracer::instance().child_of(parent);
+  saved_ = parent;
+  Tracer::current_context() = ctx_;
+  restore_ = true;
+  enter();
+}
+
+SpanScope::SpanScope(const TraceContext& remote, const char* name,
+                     const char* suffix)
+    : name_(name), suffix_(suffix) {
+  if (!remote.sampled) return;
+  ctx_ = Tracer::instance().child_of(remote);
+  saved_ = Tracer::current_context();
+  Tracer::current_context() = ctx_;
+  restore_ = true;
+  enter();
+}
+
+void SpanScope::enter() {
+  if (!ctx_.sampled) return;
+  start_unix_us_ = unix_micros();
+  start_ = std::chrono::steady_clock::now();
+}
+
+SpanScope::~SpanScope() {
+  if (ctx_.sampled) {
+    const auto dur = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    Tracer::instance().emit(ctx_, name_, suffix_, start_unix_us_,
+                            static_cast<std::uint64_t>(dur.count()));
+  }
+  if (restore_) Tracer::current_context() = saved_;
+}
+
+}  // namespace sigma::obs

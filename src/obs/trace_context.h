@@ -1,0 +1,34 @@
+// The distributed-tracing context that rides every RPC envelope: a
+// 128-bit trace id naming one sampled request end-to-end, the 64-bit id
+// of the span that sent the message, and the sender's parent span — just
+// enough for a receiver to attach its own spans under the caller's.
+//
+// Kept separate from obs/trace.h so net/message.h can embed a context
+// without pulling the recorder (rings, atomics, clocks) into every
+// translation unit that frames a message.
+#pragma once
+
+#include <cstdint>
+
+namespace sigma::obs {
+
+/// Identity of one span within one trace. A default-constructed context
+/// is "not sampled": carrying it costs nothing on the wire and every
+/// span scope under it is a no-op.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;  // 128-bit trace id, high half
+  std::uint64_t trace_lo = 0;  // 128-bit trace id, low half
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0 = root
+  /// Only sampled contexts are recorded and serialized; the wire encodes
+  /// the flag as presence/absence of the trace block.
+  bool sampled = false;
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_hi == b.trace_hi && a.trace_lo == b.trace_lo &&
+         a.span_id == b.span_id && a.parent_span_id == b.parent_span_id &&
+         a.sampled == b.sampled;
+}
+
+}  // namespace sigma::obs

@@ -1,0 +1,73 @@
+#include "obs/trace_render.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace sigma::obs {
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string span_name(const SpanRecord& rec) {
+  std::size_t n = 0;
+  while (n < kSpanNameBytes && rec.name[n] != '\0') ++n;
+  return std::string(rec.name, n);
+}
+
+}  // namespace
+
+std::string trace_id_hex(std::uint64_t hi, std::uint64_t lo) {
+  return hex16(hi) + hex16(lo);
+}
+
+std::string render_chrome_trace(const std::vector<SpanDump>& dumps) {
+  struct Event {
+    const SpanDump* dump;
+    const SpanRecord* rec;
+  };
+  std::vector<Event> events;
+  for (const SpanDump& dump : dumps) {
+    for (const SpanRecord& rec : dump.spans) events.push_back({&dump, &rec});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.rec->start_unix_us < b.rec->start_unix_us;
+                   });
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto append = [&](const std::string& event) {
+    if (!first) out += ", ";
+    first = false;
+    out += event;
+  };
+  for (const SpanDump& dump : dumps) {
+    append("{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+           std::to_string(dump.pid) + ", \"tid\": 0, \"args\": {\"name\": " +
+           json_quote(dump.process) + "}}");
+  }
+  for (const Event& e : events) {
+    const SpanRecord& rec = *e.rec;
+    append("{\"ph\": \"X\", \"name\": " + json_quote(span_name(rec)) +
+           ", \"cat\": \"sigma\", \"pid\": " + std::to_string(e.dump->pid) +
+           ", \"tid\": " + std::to_string(rec.tid) +
+           ", \"ts\": " + std::to_string(rec.start_unix_us) +
+           ", \"dur\": " + std::to_string(rec.duration_us) +
+           ", \"args\": {\"trace_id\": " +
+           json_quote(trace_id_hex(rec.trace_hi, rec.trace_lo)) +
+           ", \"span_id\": " + json_quote(hex16(rec.span_id)) +
+           ", \"parent_span_id\": " + json_quote(hex16(rec.parent_span_id)) +
+           "}}");
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sigma::obs

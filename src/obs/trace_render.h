@@ -1,0 +1,23 @@
+// Render merged span dumps as Chrome trace-event JSON — the format
+// Perfetto and chrome://tracing load directly. Each process's dump
+// becomes a pid lane (named by a process_name metadata event), each
+// recorder thread a tid row, each span a complete ("ph":"X") event whose
+// args carry the trace/span/parent ids so one request can be followed
+// across processes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_wire.h"
+
+namespace sigma::obs {
+
+/// Hex form of the 128-bit trace id ("<hi><lo>", 32 lowercase digits).
+std::string trace_id_hex(std::uint64_t hi, std::uint64_t lo);
+
+/// One JSON document ({"traceEvents": [...]}) over every dump. Events
+/// are sorted by wall-clock start for deterministic output.
+std::string render_chrome_trace(const std::vector<SpanDump>& dumps);
+
+}  // namespace sigma::obs

@@ -1,0 +1,127 @@
+#include "obs/trace_wire.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/wire.h"
+
+namespace sigma::obs {
+namespace {
+
+using net::WireError;
+using net::WireReader;
+using net::WireWriter;
+
+// Fixed ids/clocks/tid plus the length-prefixed name, used to validate
+// the span count against the bytes actually present.
+constexpr std::size_t kMinSpanBytes = 6 * 8 + 4 + 4;
+
+std::size_t name_len(const SpanRecord& rec) {
+  std::size_t n = 0;
+  while (n < kSpanNameBytes && rec.name[n] != '\0') ++n;
+  return n;
+}
+
+}  // namespace
+
+Buffer encode_span_dump(const SpanDump& dump) {
+  WireWriter w;
+  w.u64(dump.pid);
+  w.bytes(as_bytes(dump.process));
+  w.u32(static_cast<std::uint32_t>(dump.spans.size()));
+  for (const SpanRecord& rec : dump.spans) {
+    w.u64(rec.trace_hi);
+    w.u64(rec.trace_lo);
+    w.u64(rec.span_id);
+    w.u64(rec.parent_span_id);
+    w.u64(rec.start_unix_us);
+    w.u64(rec.duration_us);
+    w.u32(rec.tid);
+    w.bytes(ByteView{reinterpret_cast<const std::uint8_t*>(rec.name),
+                     name_len(rec)});
+  }
+  return w.take();
+}
+
+SpanDump decode_span_dump(ByteView body) {
+  WireReader r(body);
+  SpanDump dump;
+  dump.pid = r.u64();
+  {
+    const ByteView name = r.bytes();
+    dump.process.assign(reinterpret_cast<const char*>(name.data()),
+                        name.size());
+  }
+  const std::uint32_t n = r.count(kMinSpanBytes);
+  dump.spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SpanRecord rec;
+    rec.trace_hi = r.u64();
+    rec.trace_lo = r.u64();
+    rec.span_id = r.u64();
+    rec.parent_span_id = r.u64();
+    rec.start_unix_us = r.u64();
+    rec.duration_us = r.u64();
+    rec.tid = r.u32();
+    const ByteView name = r.bytes();
+    if (name.size() > kSpanNameBytes) {
+      throw WireError("trace: span name length " +
+                      std::to_string(name.size()) + " exceeds " +
+                      std::to_string(kSpanNameBytes));
+    }
+    std::memcpy(rec.name, name.data(), name.size());
+    dump.spans.push_back(rec);
+  }
+  r.expect_done();
+  return dump;
+}
+
+void write_span_dump_file(const std::string& path, const SpanDump& dump) {
+  const Buffer body = encode_span_dump(dump);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    throw std::runtime_error("trace: cannot write dump file " + path);
+  }
+  bool ok = std::fwrite(kSpanDumpFileMagic, 1, sizeof(kSpanDumpFileMagic),
+                        f) == sizeof(kSpanDumpFileMagic);
+  ok = ok && (body.empty() ||
+              std::fwrite(body.data(), 1, body.size(), f) == body.size());
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    throw std::runtime_error("trace: short write to dump file " + path);
+  }
+}
+
+SpanDump read_span_dump_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw std::runtime_error("trace: cannot read dump file " + path);
+  }
+  Buffer data;
+  std::uint8_t chunk[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.insert(data.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw std::runtime_error("trace: read failed on dump file " + path);
+  }
+  if (data.size() < sizeof(kSpanDumpFileMagic) ||
+      std::memcmp(data.data(), kSpanDumpFileMagic,
+                  sizeof(kSpanDumpFileMagic)) != 0) {
+    throw std::runtime_error("trace: " + path + " is not a span dump file");
+  }
+  try {
+    return decode_span_dump(ByteView{data.data() + sizeof(kSpanDumpFileMagic),
+                                     data.size() -
+                                         sizeof(kSpanDumpFileMagic)});
+  } catch (const WireError& e) {
+    throw std::runtime_error("trace: corrupt dump file " + path + ": " +
+                             e.what());
+  }
+}
+
+}  // namespace sigma::obs

@@ -1,0 +1,37 @@
+// Wire codec for shipping span dumps through the kTraceDump operation —
+// and, with a small magic header, the on-disk format of SIGUSR2 /
+// SIGMA_TRACE_DUMP files that fleet_trace merges via --local. Same
+// bounds-checked little-endian discipline as obs/metrics_wire.h: hostile
+// counts and lengths raise net::WireError before any allocation is
+// sized. decode(encode(d)) == d.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "obs/trace.h"
+
+namespace sigma::obs {
+
+/// One process's scraped spans plus its identity — the unit fleet_trace
+/// merges into a Chrome trace-event timeline.
+struct SpanDump {
+  std::uint64_t pid = 0;
+  std::string process;  // human-readable label ("node_server:7001")
+  std::vector<SpanRecord> spans;
+};
+
+Buffer encode_span_dump(const SpanDump& dump);
+SpanDump decode_span_dump(ByteView body);
+
+/// Leading bytes of a span dump file (version-suffixed magic).
+inline constexpr char kSpanDumpFileMagic[8] = {'S', 'G', 'T', 'R',
+                                               'A', 'C', 'E', '1'};
+
+/// Write/read a dump as a file: magic + encode_span_dump payload. Both
+/// throw std::runtime_error (bad path, short file, bad magic/payload).
+void write_span_dump_file(const std::string& path, const SpanDump& dump);
+SpanDump read_span_dump_file(const std::string& path);
+
+}  // namespace sigma::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "storage/manifest.h"
 
 namespace sigma::server {
@@ -99,6 +100,7 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
 
 obs::MetricsSnapshot NodeServer::metrics_snapshot() const {
   obs::MetricsSnapshot snap = registry_.snapshot();
+  obs::fold_trace_stats(snap);
 
   const net::NetStats net = transport_->stats();
   snap.add_counter("net.messages_sent", net.messages_sent);

@@ -1,7 +1,11 @@
 #include "service/node_service.h"
 
+#include <unistd.h>
+
 #include "net/wire.h"
 #include "obs/metrics_wire.h"
+#include "obs/trace.h"
+#include "obs/trace_wire.h"
 #include "service/wire_protocol.h"
 
 namespace sigma::service {
@@ -53,6 +57,7 @@ bool NodeService::is_fast_lane(MessageType type) {
     case MessageType::kReadChunk:
     case MessageType::kStoredBytes:
     case MessageType::kStatsSnapshot:
+    case MessageType::kTraceDump:
       return true;
     case MessageType::kWriteSuperChunk:
     case MessageType::kFlush:
@@ -97,6 +102,11 @@ void NodeService::drain(bool fast) {
       // One request at a time against the node, across both lanes. A
       // probe waits out at most the write in progress, never the queue.
       MutexLock node_lock(node_mu_);
+      // The op span adopts the wire context (no-op unless the request is
+      // sampled): the daemon-side span is a child of the client's RPC
+      // span, and storage spans under handle() nest beneath it via the
+      // thread-local current context.
+      obs::SpanScope span(m->trace, "svc.", to_string(m->type));
       obs::ScopedTimer timer(
           op_time_us_[static_cast<std::uint8_t>(m->type)]);
       response = handle(*m);
@@ -217,6 +227,22 @@ Message NodeService::handle(const Message& request) {
         return Message::response_to(
             request, obs::encode_metrics_snapshot(
                          provider ? provider() : obs::MetricsSnapshot{}));
+      }
+      case MessageType::kTraceDump: {
+        // Like kStatsSnapshot, the answer covers the whole hosting
+        // process: the Tracer is process-global, so every endpoint
+        // serves the same flight-recorder view. Collection is lock-free
+        // against concurrent emitters (kTraceRegistry is a leaf rank,
+        // safe under node_mu_).
+        obs::Tracer& tracer = obs::Tracer::instance();
+        obs::SpanDump dump;
+        dump.pid = static_cast<std::uint64_t>(::getpid());
+        dump.process = tracer.process_label();
+        if (dump.process.empty()) {
+          dump.process = "pid" + std::to_string(dump.pid);
+        }
+        dump.spans = tracer.collect();
+        return Message::response_to(request, obs::encode_span_dump(dump));
       }
     }
     return Message::error_to(request, "service: unknown operation");

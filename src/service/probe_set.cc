@@ -1,6 +1,7 @@
 #include "service/probe_set.h"
 
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "service/wire_protocol.h"
 
 namespace sigma::service {
@@ -8,6 +9,9 @@ namespace sigma::service {
 ProbeRound ClientProbeSet::gather(ProbeKind kind,
                                   std::span<const NodeId> candidates,
                                   const std::vector<Fingerprint>& fps) const {
+  // Child of the routing-decision span; the per-node probe RPC spans
+  // issued below nest under it in turn.
+  obs::SpanScope span("probe.gather");
   const std::size_t n = clients_.size();
   validate_candidates(candidates);
 

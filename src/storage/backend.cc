@@ -9,6 +9,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace sigma {
 
 void MemoryBackend::put(const std::string& key, ByteView data) {
@@ -111,6 +113,9 @@ std::filesystem::path FileBackend::path_for(const std::string& key) const {
 }
 
 void FileBackend::put(const std::string& key, ByteView data) {
+  // Child of the daemon's svc.WriteSuperChunk span (via the thread-local
+  // context); a no-op on unsampled requests and flush paths.
+  obs::SpanScope span("store.put");
   obs::ScopedTimer put_timer(put_us_);
   std::uint64_t fsync_us = 0;
   const auto path = path_for(key);
@@ -138,6 +143,7 @@ void FileBackend::put(const std::string& key, ByteView data) {
     written += static_cast<std::size_t>(n);
   }
   if (fsync_) {
+    obs::SpanScope fsync_span("store.fsync");
     const auto fsync_start = std::chrono::steady_clock::now();
     if (::fsync(fd) != 0) {
       const int saved = errno;
@@ -167,6 +173,7 @@ void FileBackend::put(const std::string& key, ByteView data) {
                                path.string() + ": " + ec.message());
     }
     if (fsync_) {
+      obs::SpanScope fsync_span("store.fsync");
       const auto fsync_start = std::chrono::steady_clock::now();
       fsync_path(dir_, /*directory=*/true);
       fsync_us += static_cast<std::uint64_t>(

@@ -381,10 +381,10 @@ TEST(TcpTransportTest, OversizedFrameDropsConnectionNotServer) {
   huge.kind = MessageKind::kRequest;
   huge.dst = pair.echo_id;
   Buffer frame = encode_frame(huge);
-  frame[18] = 0x00;  // body length := 1 GB (little-endian at offset 18)
-  frame[19] = 0x00;
-  frame[20] = 0x00;
-  frame[21] = 0x40;
+  frame[19] = 0x00;  // body length := 1 GB (little-endian at offset 19,
+  frame[20] = 0x00;  // after type + kind + flags + correlation + src + dst)
+  frame[21] = 0x00;
+  frame[22] = 0x40;
   Buffer wire = hello_wire;
   wire.insert(wire.end(), frame.begin(), frame.end());
   for (std::size_t sent = 0; sent < wire.size();) {
@@ -435,8 +435,10 @@ TEST(TcpTransportTest, RequestToUnknownRemoteEndpointErrorsOverWire) {
 }
 
 TEST(TcpTransportTest, NoRouteBouncesImmediately) {
-  TcpTransportConfig cfg;  // empty peer map, no listener
-  TcpTransport client(cfg);
+  // Default config: empty peer map, no listener. Passed as a prvalue —
+  // GCC 12's -Wmaybe-uninitialized misfires on copying the disengaged
+  // optional<TcpAddress> under ASan; guaranteed elision sidesteps it.
+  TcpTransport client{TcpTransportConfig{}};
   RpcEndpoint rpc(client);
   EXPECT_THROW(rpc.call_sync(999, MessageType::kFlush, Buffer{}, 30000ms),
                RpcError);

@@ -1,0 +1,61 @@
+// Shared fleet-scrape plumbing for the observability CLIs (fleet_stats,
+// fleet_trace): parse a "host:port[:endpoint]" node map, dial the fleet,
+// and issue exactly one scrape RPC per distinct daemon address — multiple
+// endpoints behind one address share a process, and every endpoint
+// answers scrape ops (kStatsSnapshot, kTraceDump) with the same
+// process-wide view, so extra endpoints are skipped.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/rpc.h"
+#include "net/tcp/tcp_transport.h"
+
+namespace sigma::tools {
+
+/// One daemon's scrape result: its address ("host:port"), the endpoint
+/// the RPC went to, and the raw response body (decode per-op).
+struct DaemonScrape {
+  std::string address;
+  net::EndpointId endpoint;
+  Buffer body;
+};
+
+/// Scrape every distinct daemon in `nodes_csv` with one `op` RPC each
+/// (first endpoint per address wins). Throws on parse errors, connection
+/// failures and RPC timeouts — the CLIs surface the message and exit
+/// non-zero.
+inline std::vector<DaemonScrape> scrape_fleet(const std::string& nodes_csv,
+                                              net::MessageType op,
+                                              std::uint32_t timeout_ms) {
+  const auto nodes =
+      net::parse_tcp_nodes(nodes_csv, net::kServiceEndpointBase);
+
+  std::map<std::pair<std::string, std::uint16_t>, net::EndpointId> daemons;
+  net::TcpTransportConfig tcp;
+  for (const auto& node : nodes) {
+    tcp.remote_endpoints.emplace(node.endpoint, node.address);
+    daemons.emplace(std::make_pair(node.address.host, node.address.port),
+                    node.endpoint);
+  }
+  net::TcpTransport transport(std::move(tcp));
+  net::RpcEndpoint rpc(transport);
+
+  std::vector<DaemonScrape> scraped;
+  scraped.reserve(daemons.size());
+  for (const auto& [address, endpoint] : daemons) {
+    DaemonScrape d;
+    d.address = address.first + ":" + std::to_string(address.second);
+    d.endpoint = endpoint;
+    d.body = rpc.call_sync(endpoint, op, Buffer{},
+                           std::chrono::milliseconds(timeout_ms));
+    scraped.push_back(std::move(d));
+  }
+  return scraped;
+}
+
+}  // namespace sigma::tools

@@ -18,16 +18,13 @@
 //    "merged": {...}}
 #include <cstdlib>
 #include <iostream>
-#include <map>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "common/json.h"
-#include "net/rpc.h"
-#include "net/tcp/tcp_transport.h"
 #include "obs/metrics_render.h"
 #include "obs/metrics_wire.h"
+#include "fleet_scrape.h"
 
 namespace {
 
@@ -78,21 +75,6 @@ int main(int argc, char** argv) {
   if (nodes_csv.empty()) usage("--nodes is required");
 
   try {
-    const auto nodes =
-        net::parse_tcp_nodes(nodes_csv, net::kServiceEndpointBase);
-
-    // One scrape target per distinct daemon address (first endpoint wins).
-    std::map<std::pair<std::string, std::uint16_t>, net::EndpointId> daemons;
-    net::TcpTransportConfig tcp;
-    for (const auto& node : nodes) {
-      tcp.remote_endpoints.emplace(node.endpoint, node.address);
-      daemons.emplace(
-          std::make_pair(node.address.host, node.address.port),
-          node.endpoint);
-    }
-    net::TcpTransport transport(std::move(tcp));
-    net::RpcEndpoint rpc(transport);
-
     struct DaemonStats {
       std::string address;
       net::EndpointId endpoint;
@@ -100,15 +82,13 @@ int main(int argc, char** argv) {
     };
     std::vector<DaemonStats> scraped;
     obs::MetricsSnapshot merged;
-    for (const auto& [address, endpoint] : daemons) {
-      const Buffer body =
-          rpc.call_sync(endpoint, net::MessageType::kStatsSnapshot, Buffer{},
-                        std::chrono::milliseconds(timeout_ms));
+    for (tools::DaemonScrape& raw : tools::scrape_fleet(
+             nodes_csv, net::MessageType::kStatsSnapshot, timeout_ms)) {
       DaemonStats d;
-      d.address = address.first + ":" + std::to_string(address.second);
-      d.endpoint = endpoint;
-      d.snapshot =
-          obs::decode_metrics_snapshot(ByteView{body.data(), body.size()});
+      d.address = std::move(raw.address);
+      d.endpoint = raw.endpoint;
+      d.snapshot = obs::decode_metrics_snapshot(
+          ByteView{raw.body.data(), raw.body.size()});
       merged.merge(d.snapshot);
       scraped.push_back(std::move(d));
     }

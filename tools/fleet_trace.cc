@@ -1,0 +1,140 @@
+// Scrape the tracing plane of a running node_server fleet and merge the
+// spans into one Chrome trace-event JSON document (loadable in Perfetto
+// or chrome://tracing).
+//
+//   $ fleet_trace --nodes 127.0.0.1:7001:100,127.0.0.1:7002:101
+//                 --local client-trace.bin --out trace.json
+//   fleet_trace: 2 daemons + 1 local dump, 37 spans, 3 traces
+//                (2 cross-process)
+//
+// One kTraceDump RPC per distinct daemon address (endpoint dedup shared
+// with fleet_stats via tools/fleet_scrape.h). --local merges binary dump
+// files written by SIGUSR2 or SIGMA_TRACE_DUMP — that is how a
+// short-lived backup client's spans join the daemons' on one timeline.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_render.h"
+#include "obs/trace_wire.h"
+#include "fleet_scrape.h"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "fleet_trace: " << error << "\n";
+  std::cerr << "usage: fleet_trace [--nodes host:port[:endpoint],...]\n"
+            << "                   [--local FILE]... [--out FILE]\n"
+            << "                   [--timeout-ms T]\n"
+            << "  --nodes MAP    scrape each distinct daemon's span rings\n"
+            << "                 over the kTraceDump wire op (same node-map\n"
+            << "                 syntax as the backup clients)\n"
+            << "  --local FILE   also merge a binary span dump written by\n"
+            << "                 SIGUSR2 or SIGMA_TRACE_DUMP (repeatable)\n"
+            << "  --out FILE     write the Chrome trace-event JSON here\n"
+            << "                 (default: stdout)\n"
+            << "  --timeout-ms T per-scrape RPC timeout (default 5000)\n"
+            << "At least one of --nodes / --local is required. A summary\n"
+            << "(spans, traces, cross-process traces) goes to stderr.\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sigma;
+
+  std::string nodes_csv;
+  std::vector<std::string> local_files;
+  std::string out_path;
+  std::uint32_t timeout_ms = 5000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      nodes_csv = value();
+    } else if (arg == "--local") {
+      local_files.push_back(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--timeout-ms") {
+      try {
+        timeout_ms = static_cast<std::uint32_t>(
+            net::parse_number(value(), 3600000, "value for --timeout-ms"));
+      } catch (const net::SocketError& e) {
+        usage(e.what());
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage("unknown option " + arg);
+    }
+  }
+  if (nodes_csv.empty() && local_files.empty()) {
+    usage("at least one of --nodes / --local is required");
+  }
+
+  try {
+    std::vector<obs::SpanDump> dumps;
+    std::size_t daemons = 0;
+    if (!nodes_csv.empty()) {
+      for (tools::DaemonScrape& raw : tools::scrape_fleet(
+               nodes_csv, net::MessageType::kTraceDump, timeout_ms)) {
+        obs::SpanDump dump = obs::decode_span_dump(
+            ByteView{raw.body.data(), raw.body.size()});
+        if (dump.process.empty()) dump.process = raw.address;
+        dumps.push_back(std::move(dump));
+        ++daemons;
+      }
+    }
+    for (const std::string& path : local_files) {
+      dumps.push_back(obs::read_span_dump_file(path));
+    }
+
+    // Summary: spans, distinct traces, and how many traces were stitched
+    // across more than one process — the whole point of the plane.
+    std::size_t spans = 0;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::set<std::uint64_t>>
+        trace_pids;
+    for (const obs::SpanDump& dump : dumps) {
+      spans += dump.spans.size();
+      for (const obs::SpanRecord& rec : dump.spans) {
+        trace_pids[{rec.trace_hi, rec.trace_lo}].insert(dump.pid);
+      }
+    }
+    std::size_t cross_process = 0;
+    for (const auto& [id, pids] : trace_pids) {
+      if (pids.size() > 1) ++cross_process;
+    }
+
+    const std::string json = obs::render_chrome_trace(dumps);
+    if (out_path.empty()) {
+      std::cout << json << std::endl;
+    } else {
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot open " + out_path);
+      out << json << "\n";
+      if (!out.flush()) throw std::runtime_error("write failed: " + out_path);
+    }
+
+    std::cerr << "fleet_trace: " << daemons << " daemon"
+              << (daemons == 1 ? "" : "s") << " + " << local_files.size()
+              << " local dump" << (local_files.size() == 1 ? "" : "s") << ", "
+              << spans << " span" << (spans == 1 ? "" : "s") << ", "
+              << trace_pids.size() << " trace"
+              << (trace_pids.size() == 1 ? "" : "s") << " (" << cross_process
+              << " cross-process)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_trace: " << e.what() << "\n";
+    return 1;
+  }
+}

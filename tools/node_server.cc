@@ -24,11 +24,15 @@
 // Observability: SIGUSR1 dumps the daemon-wide metrics snapshot (every
 // counter, gauge and latency histogram, plus the legacy struct stats) to
 // stderr without disturbing service; the same dump is printed once more
-// on clean shutdown. Remote scraping goes through the kStatsSnapshot wire
-// op (see tools/fleet_stats).
+// on clean shutdown. SIGUSR2 writes the trace flight recorder (the
+// per-thread span rings, see obs/trace.h) to the --trace-dump file.
+// Remote scraping goes through the kStatsSnapshot and kTraceDump wire
+// ops (see tools/fleet_stats and tools/fleet_trace).
 //
 // Point a client at a fleet with a node map, one entry per hosted node:
 //   transport_cluster --tcp 127.0.0.1:7001:100,127.0.0.1:7001:101
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
@@ -36,15 +40,17 @@
 #include <string>
 
 #include "obs/metrics_render.h"
+#include "obs/trace.h"
 #include "server/node_server.h"
 
 namespace {
 
-// Signals release the semaphore; flags say why it was released (USR1 may
-// fire any number of times before the loop reacts, hence counting).
+// Signals release the semaphore; flags say why it was released (USR1/2
+// may fire any number of times before the loop reacts, hence counting).
 std::counting_semaphore<> g_signal{0};
 volatile std::sig_atomic_t g_shutdown_requested = 0;
 volatile std::sig_atomic_t g_dump_requested = 0;
+volatile std::sig_atomic_t g_trace_dump_requested = 0;
 
 void handle_shutdown(int) {
   g_shutdown_requested = 1;
@@ -56,13 +62,19 @@ void handle_dump(int) {
   g_signal.release();
 }
 
+void handle_trace_dump(int) {
+  g_trace_dump_requested = 1;
+  g_signal.release();
+}
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "node_server: " << error << "\n";
   std::cerr << "usage: node_server [--host H] [--port P] [--nodes N]\n"
             << "                   [--first-endpoint E] [--service-threads T]\n"
             << "                   [--container-mb MB] [--approximate]\n"
             << "                   [--backend memory|file] [--data-dir DIR]\n"
-            << "                   [--no-fsync]\n"
+            << "                   [--no-fsync] [--trace-sample N]\n"
+            << "                   [--trace-dump FILE]\n"
             << "  --host H             listen address (default 127.0.0.1)\n"
             << "  --port P             listen port; 0 picks one (default 0)\n"
             << "  --nodes N            dedup nodes to host (default 1)\n"
@@ -79,7 +91,18 @@ void handle_dump(int) {
             << "  --data-dir DIR       file-backend root (node i stores in\n"
             << "                       DIR/node-<i>)\n"
             << "  --no-fsync           skip fsync on container seal (faster,\n"
-            << "                       survives kills but not power loss)\n";
+            << "                       survives kills but not power loss)\n"
+            << "  --trace-sample N     sample one distributed trace per N\n"
+            << "                       root decisions; 0 disables (default\n"
+            << "                       " << sigma::obs::Tracer::kDefaultSampleEvery
+            << "; SIGMA_TRACE_SAMPLE also works)\n"
+            << "  --trace-dump FILE    where SIGUSR2 writes the span flight\n"
+            << "                       recorder (default\n"
+            << "                       sigma-trace.<pid>.bin); merge with\n"
+            << "                       fleet_trace --local\n"
+            << "signals: SIGUSR1 dumps the metrics snapshot to stderr;\n"
+            << "         SIGUSR2 dumps the trace rings to --trace-dump;\n"
+            << "         SIGINT/SIGTERM shut down cleanly\n";
   std::exit(2);
 }
 
@@ -89,6 +112,7 @@ int main(int argc, char** argv) {
   using namespace sigma;
 
   server::NodeServerConfig config;
+  std::string trace_dump_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -130,6 +154,11 @@ int main(int argc, char** argv) {
       config.data_dir = value();
     } else if (arg == "--no-fsync") {
       config.fsync = false;
+    } else if (arg == "--trace-sample") {
+      obs::Tracer::instance().set_sample_every(
+          static_cast<std::uint32_t>(number(0xFFFFFFFFul)));
+    } else if (arg == "--trace-dump") {
+      trace_dump_path = value();
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else {
@@ -152,7 +181,15 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_shutdown);
     std::signal(SIGTERM, handle_shutdown);
     std::signal(SIGUSR1, handle_dump);
+    std::signal(SIGUSR2, handle_trace_dump);
     std::signal(SIGPIPE, SIG_IGN);
+
+    obs::Tracer::instance().set_process_label(
+        "node_server:" + std::to_string(server.port()));
+    if (trace_dump_path.empty()) {
+      trace_dump_path =
+          "sigma-trace." + std::to_string(::getpid()) + ".bin";
+    }
 
     if (config.backend == server::BackendKind::kFile) {
       for (std::size_t i = 0; i < server.num_nodes(); ++i) {
@@ -169,14 +206,25 @@ int main(int argc, char** argv) {
               << server.endpoint(server.num_nodes() - 1)
               << " nodes=" << server.num_nodes() << std::endl;
 
-    // Serve until SIGINT/SIGTERM; a SIGUSR1 dumps metrics and keeps
-    // serving.
+    // Serve until SIGINT/SIGTERM; SIGUSR1 dumps metrics and SIGUSR2 the
+    // trace rings, both without disturbing service.
     for (;;) {
       g_signal.acquire();
       if (g_dump_requested) {
         g_dump_requested = 0;
         std::cerr << "METRICS (SIGUSR1) port=" << server.port() << "\n"
                   << obs::render_text(server.metrics_snapshot());
+      }
+      if (g_trace_dump_requested) {
+        g_trace_dump_requested = 0;
+        try {
+          obs::Tracer::instance().dump_to_file(trace_dump_path);
+          std::cerr << "TRACE (SIGUSR2) port=" << server.port()
+                    << " file=" << trace_dump_path << "\n";
+        } catch (const std::exception& e) {
+          std::cerr << "node_server: trace dump failed: " << e.what()
+                    << "\n";
+        }
       }
       if (g_shutdown_requested) break;
     }
