@@ -16,6 +16,7 @@
 // data, not just terminal scrollback.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -63,10 +64,18 @@ inline std::string emit_bench_json(const BenchResult& result) {
     if (*env) dir = env;
   }
   const std::string path = dir + "/BENCH_" + result.name + ".json";
+  // Every result carries the dataset scale it was measured at, so trend
+  // tooling (scripts/bench_trend.py) never compares runs across scales.
+  std::map<std::string, std::string> params = result.params;
+  if (params.find("scale") == params.end()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", bench_scale());
+    params["scale"] = buf;
+  }
   std::string out = "{\"bench\": " + json_quote(result.name) +
                     ", \"schema\": 1, \"params\": {";
   bool first = true;
-  for (const auto& [key, value] : result.params) {
+  for (const auto& [key, value] : params) {
     if (!first) out += ", ";
     first = false;
     out += json_quote(key) + ": " + json_quote(value);

@@ -53,6 +53,12 @@ python3 scripts/check_bench_json.py \
     --max-metric trace_overhead_pct=2.0 \
     "$BENCH_OUT/BENCH_fig_transport_pipeline.json"
 
+# Perf trajectory: append this run's numbers to bench/trend/trend.jsonl
+# (keyed by commit + host + scale) and fail on a >20% throughput drop
+# against the best comparable recorded run. The ledger is committed, so
+# the repo carries its own performance history.
+python3 scripts/bench_trend.py "$BENCH_OUT"/BENCH_*.json
+
 if [[ "${SIGMA_SKIP_SANITIZERS:-0}" != "1" ]]; then
   # The transport/service stack is poll loops, pending-call handoffs and
   # shared write queues — exactly where the sanitizers earn their keep.

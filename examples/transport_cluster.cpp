@@ -50,6 +50,14 @@ int main(int argc, char** argv) {
       config.transport.mode = TransportMode::kTcp;
       config.transport.rpc_timeout_ms = 10000;
       config.num_nodes = config.transport.tcp_nodes.size();
+    } else if (arg == "--reactors" && i + 1 < argc) {
+      try {
+        config.transport.tcp_reactors = static_cast<std::uint32_t>(
+            net::parse_number(argv[++i], 64, "value for --reactors"));
+      } catch (const std::exception& e) {
+        std::cerr << "transport_cluster: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--trace-sample" && i + 1 < argc) {
       try {
         obs::Tracer::instance().set_sample_every(static_cast<std::uint32_t>(
@@ -61,7 +69,9 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: transport_cluster [--tcp host:port[:endpoint],...]"
-                << " [--trace-sample N]\n"
+                << " [--reactors R] [--trace-sample N]\n"
+                << "  --reactors R      client transport event-loop shards\n"
+                << "                    (0 = min(hardware threads, 4))\n"
                 << "  --trace-sample N  sample one distributed trace per N\n"
                 << "                    super-chunks; 0 disables (default "
                 << obs::Tracer::kDefaultSampleEvery << ");\n"

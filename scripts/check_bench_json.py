@@ -10,6 +10,7 @@ Usage:
   check_bench_json.py FILE [FILE...]
   check_bench_json.py --require-metric NAME FILE   # NAME must be present
   check_bench_json.py --max-metric NAME=V FILE     # NAME present and <= V
+  check_bench_json.py --min-metric NAME=V FILE     # NAME present and >= V
 
 Exits non-zero (listing every problem) if any file is missing, unparsable
 or schema-violating, so ci.sh can gate on the benches actually producing
@@ -20,7 +21,7 @@ import math
 import sys
 
 
-def check(path, required_metrics, max_metrics):
+def check(path, required_metrics, max_metrics, min_metrics):
     problems = []
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -69,6 +70,15 @@ def check(path, required_metrics, max_metrics):
                     and metrics[name] > bound:
                 problems.append('metric %r is %r, exceeds gate %r'
                                 % (name, metrics[name], bound))
+        for name, bound in min_metrics:
+            if name not in metrics:
+                problems.append('gated metric %r is missing' % name)
+            elif isinstance(metrics[name], (int, float)) \
+                    and not isinstance(metrics[name], bool) \
+                    and math.isfinite(metrics[name]) \
+                    and metrics[name] < bound:
+                problems.append('metric %r is %r, below gate %r'
+                                % (name, metrics[name], bound))
 
     return problems
 
@@ -76,6 +86,7 @@ def check(path, required_metrics, max_metrics):
 def main(argv):
     required = []
     gated = []
+    floored = []
     files = []
     i = 1
     while i < len(argv):
@@ -86,16 +97,18 @@ def main(argv):
                 return 2
             required.append(argv[i + 1])
             i += 2
-        elif argv[i] == "--max-metric":
+        elif argv[i] in ("--max-metric", "--min-metric"):
+            flag = argv[i]
             if i + 1 >= len(argv) or "=" not in argv[i + 1]:
-                print("check_bench_json: --max-metric needs NAME=VALUE",
+                print("check_bench_json: %s needs NAME=VALUE" % flag,
                       file=sys.stderr)
                 return 2
             name, _, bound = argv[i + 1].partition("=")
             try:
-                gated.append((name, float(bound)))
+                dest = gated if flag == "--max-metric" else floored
+                dest.append((name, float(bound)))
             except ValueError:
-                print("check_bench_json: bad --max-metric bound %r" % bound,
+                print("check_bench_json: bad %s bound %r" % (flag, bound),
                       file=sys.stderr)
                 return 2
             i += 2
@@ -108,7 +121,7 @@ def main(argv):
 
     failed = False
     for path in files:
-        problems = check(path, required, gated)
+        problems = check(path, required, gated, floored)
         if problems:
             failed = True
             for p in problems:

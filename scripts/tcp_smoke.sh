@@ -29,7 +29,9 @@ cleanup() {
 trap cleanup EXIT
 
 start_daemon() {  # $1 = log file, $2 = first endpoint id
-  "$NODE_SERVER" --port 0 --nodes 2 --first-endpoint "$2" \
+  # --reactors 4: the smoke drives the sharded transport, not the
+  # single-reactor degenerate case.
+  "$NODE_SERVER" --port 0 --nodes 2 --first-endpoint "$2" --reactors 4 \
       --trace-dump "$1.trace.bin" \
       > "$1" 2>&1 &
   PIDS+=($!)
@@ -102,8 +104,17 @@ python3 scripts/check_trace_json.py --require-cross-process "$WORK/trace-local.j
 if [[ -x "$BENCH" ]]; then
   echo "== pipeline bench over TCP (depth 4, small scale)"
   SIGMA_BENCH_SCALE="${SIGMA_BENCH_SCALE:-0.1}" SIGMA_BENCH_JSON_DIR="$WORK" \
-      timeout 300 "$BENCH" --tcp "$NODES" --depth 4
-  python3 scripts/check_bench_json.py "$WORK/BENCH_fig_transport_pipeline.json"
+      timeout 600 "$BENCH" --tcp "$NODES" --depth 4
+  # The bench's multi-reactor A/B (interleaved best-of-3 per arm) must
+  # show 4 reactors at least holding the line against 1. The floor is
+  # 0.85, not 1.0, because CI runners can expose a single core — there
+  # sharding buys nothing and the gate only has scheduler noise to
+  # absorb; on multi-core hosts the speedup clears 1.0 with room.
+  python3 scripts/check_bench_json.py \
+      --require-metric reactors1_mbps \
+      --require-metric reactors4_mbps \
+      --min-metric reactors_speedup=0.85 \
+      "$WORK/BENCH_fig_transport_pipeline.json"
 fi
 
 echo "== tcp smoke OK"

@@ -79,6 +79,9 @@ struct TransportConfig {
   /// kTcp only: this client's endpoint id range. Give each client process
   /// sharing a fleet a distinct base.
   net::EndpointId tcp_client_endpoint_base = net::kClientEndpointBase;
+  /// kTcp only: transport event-loop shards (reactors). 0 = auto
+  /// (min(hardware_concurrency, 4)); see TcpTransportConfig::reactors.
+  std::uint32_t tcp_reactors = 0;
 };
 
 struct ClusterConfig {

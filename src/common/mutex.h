@@ -71,8 +71,15 @@ enum class LockRank : int {
   kStorageStats = 54,
   kDirector = 56,
 
-  // ---- Message plane (never held while calling into the layers above) -
-  kTransport = 60,    // TcpTransport / LoopbackTransport mu_
+  // ---- Message plane (never held while calling into the layers above).
+  //      The TCP transport is sharded: the endpoint table and the
+  //      learned-route directory are transport-global and rank below the
+  //      per-reactor shard locks, so a reactor may consult them only
+  //      after releasing its own mutex (and never holds two shard
+  //      mutexes — every connection belongs to exactly one reactor). ----
+  kTransportEndpoints = 58,  // TcpTransport::ep_mu_ — endpoint table
+  kTransportRoutes = 59,     // TcpTransport::route_mu_ — learned routes
+  kTransport = 60,    // Reactor::mu_ / LoopbackTransport mu_
   kRpcEndpoint = 62,  // RpcEndpoint pending-call map
   kRpcCall = 64,      // one PendingCall's settle state
 

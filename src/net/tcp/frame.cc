@@ -1,5 +1,7 @@
 #include "net/tcp/frame.h"
 
+#include <algorithm>
+
 namespace sigma::net {
 
 Buffer encode_hello(const Hello& hello) {
@@ -35,23 +37,42 @@ Hello decode_hello(ByteView data) {
   }
 }
 
-Buffer encode_frame(const Message& m) {
-  WireWriter w(m.wire_size());
-  w.u8(static_cast<std::uint8_t>(m.type));
-  w.u8(static_cast<std::uint8_t>(m.kind));
-  w.u8(m.flags());
-  w.u64(m.correlation_id);
-  w.u32(m.src);
-  w.u32(m.dst);
-  w.u32(static_cast<std::uint32_t>(m.body.size()));
+namespace {
+
+inline std::uint8_t* put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) *p++ = static_cast<std::uint8_t>(v >> (8 * i));
+  return p;
+}
+
+inline std::uint8_t* put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) *p++ = static_cast<std::uint8_t>(v >> (8 * i));
+  return p;
+}
+
+}  // namespace
+
+std::size_t encode_frame_header(const Message& m, std::uint8_t* out) {
+  std::uint8_t* p = out;
+  *p++ = static_cast<std::uint8_t>(m.type);
+  *p++ = static_cast<std::uint8_t>(m.kind);
+  *p++ = m.flags();
+  p = put_u64(p, m.correlation_id);
+  p = put_u32(p, m.src);
+  p = put_u32(p, m.dst);
+  p = put_u32(p, static_cast<std::uint32_t>(m.body.size()));
   if (m.trace.sampled) {
-    w.u64(m.trace.trace_hi);
-    w.u64(m.trace.trace_lo);
-    w.u64(m.trace.span_id);
-    w.u64(m.trace.parent_span_id);
+    p = put_u64(p, m.trace.trace_hi);
+    p = put_u64(p, m.trace.trace_lo);
+    p = put_u64(p, m.trace.span_id);
+    p = put_u64(p, m.trace.parent_span_id);
   }
-  Buffer out = w.take();
-  out.insert(out.end(), m.body.begin(), m.body.end());
+  return static_cast<std::size_t>(p - out);
+}
+
+Buffer encode_frame(const Message& m) {
+  Buffer out(m.wire_size());
+  const std::size_t header = encode_frame_header(m, out.data());
+  std::copy(m.body.begin(), m.body.end(), out.begin() + static_cast<long>(header));
   return out;
 }
 

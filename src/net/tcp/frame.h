@@ -58,6 +58,18 @@ Hello decode_hello(ByteView data);
 /// Serialize one message as a frame (header + body).
 Buffer encode_frame(const Message& m);
 
+/// Largest possible frame header: fixed header plus the optional trace
+/// block. Sized for encode_frame_header()'s output buffer.
+inline constexpr std::size_t kMaxFrameHeaderBytes =
+    Message::kHeaderBytes + Message::kTraceBlockBytes;
+
+/// Encode only the frame header of `m` (fixed header, plus the trace
+/// block when the message is sampled) into `out`, which must hold at
+/// least kMaxFrameHeaderBytes. Returns the bytes written. The body is
+/// not touched — the transport sends it as a separate iovec, so a frame
+/// costs zero allocations and zero payload copies on the write path.
+std::size_t encode_frame_header(const Message& m, std::uint8_t* out);
+
 /// Incremental frame decoder: feed() network reads, next() until empty.
 class FrameDecoder {
  public:

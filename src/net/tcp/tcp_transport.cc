@@ -1,12 +1,11 @@
 #include "net/tcp/tcp_transport.h"
 
-#include <poll.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -24,10 +23,36 @@ Message header_of(const Message& m) {
   return h;
 }
 
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t seed = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::size_t resolve_reactor_count(const TcpTransportConfig& config) {
+  std::uint32_t n = config.reactors;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = std::min<std::uint32_t>(hw == 0 ? 1 : hw, 4);
+  }
+  return std::clamp<std::uint32_t>(n, 1, 64);
+}
+
+bool env_force_poll() {
+  const char* v = std::getenv("SIGMA_TCP_FORCE_POLL");
+  return v != nullptr && v[0] == '1';
+}
+
 }  // namespace
 
 TcpTransport::TcpTransport(TcpTransportConfig config)
     : config_(std::move(config)), next_id_(config_.endpoint_base) {
+  if (env_force_poll()) config_.force_poll = true;
   if (config_.metrics) {
     for (std::uint8_t op = 0; op <= kMaxMessageType; ++op) {
       rpc_us_[op] = &config_.metrics->histogram(
@@ -40,37 +65,51 @@ TcpTransport::TcpTransport(TcpTransportConfig config)
         &config_.metrics->counter("tcp.handshake_failures");
     m_backpressure_stalls_ =
         &config_.metrics->counter("tcp.backpressure_stalls");
+    m_wakeups_ = &config_.metrics->counter("transport.wakeups");
     m_write_queue_bytes_ = &config_.metrics->gauge("tcp.write_queue_bytes");
   }
   if (config_.listen) {
     listen_fd_ = tcp_listen(*config_.listen);
     listen_port_ = bound_port(listen_fd_.get());
   }
-  int fds[2];
-  if (::pipe(fds) != 0) {
-    throw SocketError(std::string("pipe: ") + std::strerror(errno));
+  const std::size_t n = resolve_reactor_count(config_);
+  reactors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ReactorInstruments ins;
+    ins.rpc_us = rpc_us_;
+    ins.connects = m_connects_;
+    ins.reconnects = m_reconnects_;
+    ins.handshake_failures = m_handshake_failures_;
+    ins.backpressure_stalls = m_backpressure_stalls_;
+    ins.wakeups = m_wakeups_;
+    ins.write_queue_bytes = m_write_queue_bytes_;
+    if (config_.metrics) {
+      const std::string prefix = "transport.reactor" + std::to_string(i);
+      ins.r_frames = &config_.metrics->counter(prefix + ".frames");
+      ins.r_bytes_rx =
+          &config_.metrics->counter(prefix + ".bytes_received");
+      ins.r_wakeups = &config_.metrics->counter(prefix + ".wakeups");
+    }
+    ReactorHost& host = *this;  // private base: convert inside the class
+    reactors_.push_back(std::make_unique<Reactor>(host, config_, i, ins));
   }
-  wake_read_ = SocketFd(fds[0]);
-  wake_write_ = SocketFd(fds[1]);
-  set_nonblocking(wake_read_.get());
-  set_nonblocking(wake_write_.get());
-  loop_thread_ = std::thread([this] { loop(); });
+  // Every shard exists before any thread starts: the accept handoff may
+  // target any of them from the first event on.
+  if (listen_fd_.valid()) reactors_[0]->attach_listener(listen_fd_.get());
+  for (auto& r : reactors_) r->start();
 }
 
 TcpTransport::~TcpTransport() {
-  {
-    MutexLock lock(mu_);
-    stopping_ = true;
-  }
-  wake_loop();
-  write_cv_.notify_all();
-  loop_thread_.join();
-  // Connections, the listener and the wake pipe close via RAII. No
-  // deliveries can be in flight: only the (joined) loop thread delivered.
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& r : reactors_) r->request_stop();
+  for (auto& r : reactors_) r->join();
+  // Connections, the listener and the wake fds close via RAII. No
+  // deliveries can be in flight: only the (joined) reactor threads
+  // delivered.
 }
 
 EndpointId TcpTransport::register_endpoint(Handler handler) {
-  MutexLock lock(mu_);
+  MutexLock lock(ep_mu_);
   const EndpointId id = next_id_++;
   auto ep = std::make_shared<Endpoint>();
   ep->handler = std::move(handler);
@@ -79,20 +118,20 @@ EndpointId TcpTransport::register_endpoint(Handler handler) {
 }
 
 void TcpTransport::unregister_endpoint(EndpointId id) {
-  MutexLock lock(mu_);
+  MutexLock lock(ep_mu_);
   auto it = endpoints_.find(id);
   if (it == endpoints_.end()) return;
   auto ep = it->second;
   endpoints_.erase(it);
   // Wait out deliveries already dispatched to this endpoint so the caller
   // may tear down whatever the handler references.
-  while (ep->active_deliveries != 0) idle_cv_.wait(mu_);
+  while (ep->active_deliveries != 0) idle_cv_.wait(ep_mu_);
 }
 
 bool TcpTransport::deliver_local(Message&& m) {
   std::shared_ptr<Endpoint> ep;
   {
-    MutexLock lock(mu_);
+    MutexLock lock(ep_mu_);
     auto it = endpoints_.find(m.dst);
     if (it == endpoints_.end()) return false;
     ep = it->second;
@@ -100,9 +139,9 @@ bool TcpTransport::deliver_local(Message&& m) {
   }
   ep->handler(std::move(m));
   {
-    MutexLock lock(mu_);
+    MutexLock lock(ep_mu_);
     --ep->active_deliveries;
-    // Notify under mu_: unregister_endpoint's caller may destroy this
+    // Notify under ep_mu_: unregister_endpoint's caller may destroy this
     // transport the instant its wait predicate holds, so the notify must
     // complete before that predicate can be re-checked.
     idle_cv_.notify_all();
@@ -113,49 +152,204 @@ bool TcpTransport::deliver_local(Message&& m) {
 void TcpTransport::bounce_request(const Message& header,
                                   const std::string& text) {
   {
-    MutexLock lock(mu_);
-    ++tcp_stats_.bounced_requests;
-    ++stats_.errors;
+    MutexLock lock(ep_mu_);
+    ++bounced_requests_;
+    ++local_stats_.errors;
   }
   Message bounce = Message::error_to(header, "transport: " + text);
   (void)deliver_local(std::move(bounce));  // requester gone: silent drop
 }
 
-void TcpTransport::wake_loop() {
-  const char byte = 1;
-  (void)!::write(wake_write_.get(), &byte, 1);  // pipe full = loop awake
+ReactorHost::RouteClaim TcpTransport::learn_route(EndpointId src,
+                                                  const ConnPtr& conn) {
+  if (src == 0) return RouteClaim::kOk;
+  {
+    MutexLock lock(ep_mu_);
+    // A local endpoint id never becomes a remote route.
+    if (endpoints_.count(src) > 0) return RouteClaim::kOk;
+  }
+  // The first registration holds while its connection stays active: a
+  // *different* connection claiming an already-routed endpoint is a
+  // collision (two peers sharing an endpoint id), and silently
+  // re-pointing the route would leak one peer's responses to the other —
+  // the collider is refused deterministically instead. Once the owning
+  // connection has been silent past route_stale_ms (a drop this side
+  // never observed — close_conn erases routes on the drops it does
+  // observe), the new claimant takes the route over, so a re-dialing
+  // peer is locked out for at most the stale window. Freshness crosses
+  // shards via TcpConn::last_frame_us (relaxed atomic, written by each
+  // owning loop just before it claims).
+  MutexLock lock(route_mu_);
+  const auto [it, inserted] = routes_.try_emplace(src, conn);
+  if (inserted || it->second == conn) return RouteClaim::kOk;
+  const std::int64_t claim_us =
+      conn->last_frame_us.load(std::memory_order_relaxed);
+  const std::int64_t stale_cutoff_us =
+      claim_us -
+      static_cast<std::int64_t>(config_.route_stale_ms) * 1000;
+  if (it->second->last_frame_us.load(std::memory_order_relaxed) <=
+      stale_cutoff_us) {
+    ++route_takeovers_;
+    it->second = conn;
+    return RouteClaim::kTakeover;
+  }
+  ++route_conflicts_;
+  return RouteClaim::kConflict;
+}
+
+void TcpTransport::forget_routes(const ConnPtr& conn) {
+  MutexLock lock(route_mu_);
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    it = (it->second == conn) ? routes_.erase(it) : std::next(it);
+  }
+}
+
+void TcpTransport::adopt_accepted(SocketFd fd) {
+  try {
+    set_nonblocking(fd.get());
+  } catch (const SocketError&) {
+    return;  // conn drops, fd closed by RAII
+  }
+  // Hash the peer's address to pick the owning shard; the fd lives its
+  // whole life on that reactor.
+  std::size_t shard = 0;
+  sockaddr_storage ss;
+  std::memset(&ss, 0, sizeof(ss));
+  socklen_t len = sizeof(ss);
+  if (::getpeername(fd.get(), reinterpret_cast<sockaddr*>(&ss), &len) == 0) {
+    shard = fnv1a(&ss, len) % reactors_.size();
+  }
+  Reactor* owner = reactors_[shard].get();
+  auto conn = std::make_shared<TcpConn>(config_.max_body_bytes, owner);
+  conn->fd = std::move(fd);
+  Hello hello;
+  hello.role = PeerRole::kServer;
+  conn->hello_out = encode_hello(hello);
+  conn->state = TcpConn::State::kHello;
+  owner->adopt_inbound(std::move(conn));
+}
+
+Reactor& TcpTransport::shard_for(const std::string& host,
+                                 std::uint16_t port) {
+  std::uint64_t h = fnv1a(host.data(), host.size());
+  h = fnv1a(&port, sizeof(port), h);
+  return *reactors_[h % reactors_.size()];
 }
 
 void TcpTransport::send(Message&& m) {
+  if (stopping_.load(std::memory_order_relaxed)) return;
   const Message header = header_of(m);
   const bool is_request = m.kind == MessageKind::kRequest;
   const std::size_t body_size = m.body.size();
 
-  // Resolve a first-contact peer's address before taking mu_: a slow DNS
-  // lookup then costs only this producer, never the loop or other
-  // senders. (remote_endpoints is immutable after construction.)
-  std::optional<TcpAddress> dial;
-  bool maybe_local = false;
+  bool local = false;
+  bool track = false;
   {
-    MutexLock lock(mu_);
-    maybe_local = endpoints_.count(m.dst) > 0;
-    if (!maybe_local && routes_.find(m.dst) == routes_.end()) {
-      auto pit = config_.remote_endpoints.find(m.dst);
-      if (pit != config_.remote_endpoints.end() &&
-          outbound_.find({pit->second.host, pit->second.port}) ==
-              outbound_.end()) {
-        dial = pit->second;
+    MutexLock lock(ep_mu_);
+    local = endpoints_.count(m.dst) > 0;
+    // Track our own requests until their response arrives, so a dead
+    // connection fails them instead of leaving the caller to time out.
+    track = is_request && endpoints_.count(m.src) > 0;
+  }
+
+  if (local) {
+    {
+      MutexLock lock(ep_mu_);
+      ++local_stats_.messages_sent;
+      local_stats_.bytes_sent += m.wire_size();
+      switch (m.kind) {
+        case MessageKind::kRequest:
+          ++local_stats_.requests;
+          break;
+        case MessageKind::kResponse:
+          ++local_stats_.responses;
+          break;
+        case MessageKind::kError:
+          ++local_stats_.errors;
+          break;
       }
     }
+    if (!deliver_local(std::move(m))) {
+      {
+        MutexLock lock(ep_mu_);
+        ++local_stats_.dropped;
+      }
+      if (is_request) bounce_request(header, "endpoint unregistered");
+    }
+    return;
   }
-  std::optional<TcpAddress> resolved;
-  if (dial) {
+
+  // Learned return route first (how a daemon answers client endpoints).
+  ConnPtr route;
+  {
+    MutexLock lock(route_mu_);
+    auto it = routes_.find(m.dst);
+    if (it != routes_.end()) route = it->second;
+  }
+  if (route) {
+    if (body_size > config_.max_body_bytes) {
+      // Fail the offending message locally: shipping it would poison the
+      // shared connection when the peer rejects the frame. (Both sides
+      // of a deployment share one max_body_bytes.)
+      MutexLock lock(ep_mu_);
+      ++local_stats_.dropped;
+      lock.unlock();
+      if (is_request) {
+        bounce_request(header, "message body " + std::to_string(body_size) +
+                                   " exceeds limit " +
+                                   std::to_string(config_.max_body_bytes));
+      }
+      return;
+    }
+    Reactor* owner = route->owner;
+    if (owner->enqueue(route, m, header, track)) {
+      owner->wake();
+      if (!Reactor::on_reactor_thread()) owner->backpressure_wait(route);
+      return;
+    }
+    // The routed connection died under us (close_conn erases the route
+    // momentarily): fall back to the static peer map.
+  }
+
+  const auto pit = config_.remote_endpoints.find(m.dst);
+  if (pit == config_.remote_endpoints.end()) {
+    {
+      MutexLock lock(ep_mu_);
+      ++local_stats_.dropped;
+    }
+    if (is_request) {
+      bounce_request(header,
+                     "no route to endpoint " + std::to_string(header.dst));
+    }
+    return;
+  }
+  if (body_size > config_.max_body_bytes) {
+    {
+      MutexLock lock(ep_mu_);
+      ++local_stats_.dropped;
+    }
+    if (is_request) {
+      bounce_request(header, "message body " + std::to_string(body_size) +
+                                 " exceeds limit " +
+                                 std::to_string(config_.max_body_bytes));
+    }
+    return;
+  }
+
+  const std::pair<std::string, std::uint16_t> key{pit->second.host,
+                                                  pit->second.port};
+  Reactor& shard = shard_for(key.first, key.second);
+  // Resolve a first-contact peer's address before queueing: a slow DNS
+  // lookup then costs only this producer, never a reactor or other
+  // senders. (remote_endpoints is immutable after construction.)
+  TcpAddress dial = pit->second;
+  if (!shard.outbound_exists(key)) {
     try {
-      resolved = resolve_numeric(*dial);
+      dial = resolve_numeric(pit->second);
     } catch (const SocketError& e) {
       {
-        MutexLock lock(mu_);
-        ++stats_.dropped;
+        MutexLock lock(ep_mu_);
+        ++local_stats_.dropped;
       }
       if (is_request) {
         bounce_request(header, std::string("resolve failed: ") + e.what());
@@ -163,668 +357,48 @@ void TcpTransport::send(Message&& m) {
       return;
     }
   }
+  const ConnPtr conn = shard.enqueue_outbound(key, dial, m, header, track);
+  if (!conn) return;  // transport stopping
+  shard.wake();
 
-  // Frame the body before taking mu_ — the copy can be tens of MB and
-  // must not stall the loop or other producers. (Skipped when the
-  // destination looks local; the rare registration race re-encodes under
-  // the lock, and a header-only frame can never be empty.)
-  Buffer frame;
-  if (!maybe_local && body_size <= config_.max_body_bytes) {
-    frame = encode_frame(m);
-  }
-
-  bool local = false;
-  bool oversized = false;
-  ConnPtr conn;
-  {
-    MutexLock lock(mu_);
-    if (stopping_) return;
-    if (endpoints_.count(m.dst) > 0) {
-      local = true;
-    } else {
-      auto rit = routes_.find(m.dst);
-      if (rit != routes_.end()) {
-        conn = rit->second;
-      } else {
-        auto pit = config_.remote_endpoints.find(m.dst);
-        if (pit != config_.remote_endpoints.end()) {
-          auto& slot = outbound_[{pit->second.host, pit->second.port}];
-          if (!slot) {
-            slot = std::make_shared<Conn>(config_.max_body_bytes);
-            slot->outbound = true;
-            slot->address = resolved ? *resolved : pit->second;
-          }
-          conn = slot;
-        }
-      }
-      if (conn && body_size > config_.max_body_bytes) {
-        // Fail the offending message locally: shipping it would poison
-        // the shared connection when the peer rejects the frame. (Both
-        // sides of a deployment share one max_body_bytes.)
-        ++stats_.dropped;
-        conn = nullptr;
-        oversized = true;
-      } else if (conn) {
-        if (frame.empty()) frame = encode_frame(m);
-        stats_.bytes_sent += frame.size();
-        ++stats_.messages_sent;
-        switch (m.kind) {
-          case MessageKind::kRequest:
-            ++stats_.requests;
-            break;
-          case MessageKind::kResponse:
-            ++stats_.responses;
-            break;
-          case MessageKind::kError:
-            ++stats_.errors;
-            break;
-        }
-        // Track our own requests until their response arrives, so a dead
-        // connection fails them instead of leaving the caller to time out.
-        if (is_request && endpoints_.count(m.src) > 0) {
-          conn->awaiting_response.emplace(
-              std::pair{m.src, m.correlation_id},
-              Conn::TrackedRequest{header, std::chrono::steady_clock::now()});
-        }
-        conn->outbox_bytes += frame.size();
-        conn->outbox.push_back(std::move(frame));
-        if (m_write_queue_bytes_) {
-          m_write_queue_bytes_->set(
-              static_cast<std::int64_t>(conn->outbox_bytes));
-        }
-      } else {
-        ++stats_.dropped;
-      }
-    }
-  }
-
-  if (local) {
-    {
-      MutexLock lock(mu_);
-      ++stats_.messages_sent;
-      stats_.bytes_sent += m.wire_size();
-      switch (m.kind) {
-        case MessageKind::kRequest:
-          ++stats_.requests;
-          break;
-        case MessageKind::kResponse:
-          ++stats_.responses;
-          break;
-        case MessageKind::kError:
-          ++stats_.errors;
-          break;
-      }
-    }
-    if (!deliver_local(std::move(m))) {
-      {
-        MutexLock lock(mu_);
-        ++stats_.dropped;
-      }
-      if (is_request) bounce_request(header, "endpoint unregistered");
-    }
-    return;
-  }
-
-  if (!conn) {
-    if (is_request) {
-      bounce_request(header,
-                     oversized
-                         ? "message body " + std::to_string(body_size) +
-                               " exceeds limit " +
-                               std::to_string(config_.max_body_bytes)
-                         : "no route to endpoint " +
-                               std::to_string(header.dst));
-    }
-    return;
-  }
-
-  wake_loop();
-
-  // Backpressure: block producers (never the loop thread) while this
+  // Backpressure: block producers (never a reactor thread) while this
   // connection's queue is past the high watermark. A dying connection
   // clears its queue; a peer that stays wedged past the stall timeout is
-  // failed (the loop owns the fd), so this always unblocks.
-  if (!on_loop_thread()) {
-    MutexLock lock(mu_);
-    if (m_backpressure_stalls_ && !stopping_ &&
-        conn->outbox_bytes > config_.write_high_watermark) {
-      m_backpressure_stalls_->inc();
-    }
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(config_.write_stall_timeout_ms);
-    bool drained;
-    for (;;) {
-      drained =
-          stopping_ || conn->outbox_bytes <= config_.write_high_watermark;
-      if (drained) break;
-      if (write_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
-        drained =
-            stopping_ || conn->outbox_bytes <= config_.write_high_watermark;
-        break;
-      }
-    }
-    if (!drained) {
-      conn->stalled = true;
-      lock.unlock();
-      wake_loop();
-      lock.lock();
-      while (!stopping_ &&
-             conn->outbox_bytes > config_.write_high_watermark) {
-        write_cv_.wait(mu_);
-      }
-    }
-  }
+  // failed (its reactor owns the fd), so this always unblocks.
+  if (!Reactor::on_reactor_thread()) shard.backpressure_wait(conn);
 }
 
 NetStats TcpTransport::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  NetStats total;
+  {
+    MutexLock lock(ep_mu_);
+    total = local_stats_;
+  }
+  for (const auto& r : reactors_) {
+    const NetStats s = r->net_stats();
+    total.messages_sent += s.messages_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.requests += s.requests;
+    total.responses += s.responses;
+    total.errors += s.errors;
+    total.dropped += s.dropped;
+  }
+  return total;
 }
 
 TcpTransportStats TcpTransport::tcp_stats() const {
-  MutexLock lock(mu_);
-  return tcp_stats_;
-}
-
-// ---- Event loop ------------------------------------------------------------
-
-void TcpTransport::loop() {
-  std::vector<pollfd> pfds;
-  std::vector<ConnPtr> polled;  // parallel to pfds entries past the fixed two
-
-  while (true) {
-    std::vector<ConnPtr> to_dial;
-    std::vector<ConnPtr> to_fail;
-    int timeout_ms = 200;
-    {
-      MutexLock lock(mu_);
-      if (stopping_) return;
-
-      // Reap finished inbound connections.
-      inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
-                                    [](const ConnPtr& c) { return c->dead; }),
-                     inbound_.end());
-
-      const auto now = std::chrono::steady_clock::now();
-      // Sweep request tracking that outlived any plausible RPC timeout:
-      // the caller abandoned those calls without telling us, and a
-      // response will never arrive to erase them.
-      const auto track_cutoff =
-          now - std::chrono::milliseconds(config_.request_track_ttl_ms);
-      auto sweep_tracking = [&](const ConnPtr& conn) {
-        for (auto it = conn->awaiting_response.begin();
-             it != conn->awaiting_response.end();) {
-          it = (it->second.queued_at < track_cutoff)
-                   ? conn->awaiting_response.erase(it)
-                   : std::next(it);
-        }
-      };
-      for (auto& conn : inbound_) {
-        if (conn->stalled) to_fail.push_back(conn);
-        sweep_tracking(conn);
-      }
-      for (auto& [key, conn] : outbound_) {
-        sweep_tracking(conn);
-        if (conn->stalled) {
-          to_fail.push_back(conn);
-          continue;
-        }
-        const bool has_work =
-            !conn->outbox.empty() || !conn->awaiting_response.empty();
-        if (!has_work) continue;
-        if (conn->state == Conn::State::kIdle) {
-          to_dial.push_back(conn);
-        } else if (conn->state == Conn::State::kBackoff) {
-          if (conn->retry_at <= now) {
-            to_dial.push_back(conn);
-          } else {
-            const auto wait = std::chrono::duration_cast<
-                std::chrono::milliseconds>(conn->retry_at - now);
-            timeout_ms = std::min<int>(
-                timeout_ms, static_cast<int>(wait.count()) + 1);
-          }
-        }
-      }
-    }
-
-    for (const auto& conn : to_fail) {
-      close_conn(conn, "write stalled past backpressure timeout");
-    }
-    for (const auto& conn : to_dial) loop_dial(conn);
-
-    pfds.clear();
-    polled.clear();
-    pfds.push_back({wake_read_.get(), POLLIN, 0});
-    if (listen_fd_.valid()) pfds.push_back({listen_fd_.get(), POLLIN, 0});
-    {
-      MutexLock lock(mu_);
-      auto add_conn = [&](const ConnPtr& conn) {
-        if (!conn->fd.valid()) return;
-        short events = 0;
-        switch (conn->state) {
-          case Conn::State::kConnecting:
-            events = POLLOUT;
-            break;
-          case Conn::State::kHello:
-            events = POLLIN;
-            if (conn->hello_sent < conn->hello_out.size()) events |= POLLOUT;
-            break;
-          case Conn::State::kEstablished:
-            events = POLLIN;
-            if (conn->hello_sent < conn->hello_out.size() ||
-                !conn->outbox.empty()) {
-              events |= POLLOUT;
-            }
-            break;
-          default:
-            return;
-        }
-        pfds.push_back({conn->fd.get(), events, 0});
-        polled.push_back(conn);
-      };
-      for (auto& [key, conn] : outbound_) add_conn(conn);
-      for (auto& conn : inbound_) add_conn(conn);
-    }
-
-    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (rc < 0) continue;  // EINTR or transient failure: rebuild and retry
-
-    std::size_t idx = 0;
-    if (pfds[idx].revents & POLLIN) {
-      char buf[256];
-      while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
-      }
-    }
-    ++idx;
-    if (listen_fd_.valid()) {
-      if (pfds[idx].revents & POLLIN) loop_accept();
-      ++idx;
-    }
-    for (std::size_t i = 0; i < polled.size(); ++i) {
-      const ConnPtr& conn = polled[i];
-      const short revents = pfds[idx + i].revents;
-      if (revents == 0 || !conn->fd.valid()) continue;
-      if (conn->state == Conn::State::kConnecting) {
-        if (revents & (POLLOUT | POLLERR | POLLHUP)) loop_connect_ready(conn);
-        continue;
-      }
-      if (revents & (POLLERR | POLLHUP)) {
-        // Flush what the peer sent before it hung up, then close.
-        if (revents & POLLIN) loop_readable(conn);
-        if (conn->fd.valid()) close_conn(conn, "connection reset");
-        continue;
-      }
-      if (revents & POLLOUT) loop_writable(conn);
-      if ((revents & POLLIN) && conn->fd.valid()) loop_readable(conn);
-    }
-  }
-}
-
-void TcpTransport::loop_accept() {
-  while (true) {
-    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or transient error: next poll retries
-    auto conn = std::make_shared<Conn>(config_.max_body_bytes);
-    conn->fd = SocketFd(fd);
-    try {
-      set_nonblocking(fd);
-    } catch (const SocketError&) {
-      continue;  // conn drops, fd closed by RAII
-    }
-    Hello hello;
-    hello.role = PeerRole::kServer;
-    conn->hello_out = encode_hello(hello);
-    MutexLock lock(mu_);
-    conn->state = Conn::State::kHello;
-    ++tcp_stats_.connections_accepted;
-    inbound_.push_back(std::move(conn));
-  }
-}
-
-void TcpTransport::loop_dial(const ConnPtr& conn) {
-  if (m_connects_) m_connects_->inc();
-  if (m_reconnects_ && conn->was_established) {
-    m_reconnects_->inc();
-    conn->was_established = false;
-  }
-  try {
-    bool in_progress = false;
-    SocketFd fd = tcp_connect_start(conn->address, in_progress);
-    Hello hello;
-    hello.role = config_.listen ? PeerRole::kServer : PeerRole::kClient;
-    MutexLock lock(mu_);
-    conn->fd = std::move(fd);
-    conn->hello_out = encode_hello(hello);
-    conn->hello_sent = 0;
-    conn->hello_in.clear();
-    conn->decoder.reset();
-    conn->state =
-        in_progress ? Conn::State::kConnecting : Conn::State::kHello;
-  } catch (const SocketError& e) {
-    connect_failed(conn, e.what());
-  }
-}
-
-void TcpTransport::loop_connect_ready(const ConnPtr& conn) {
-  const int err = take_socket_error(conn->fd.get());
-  if (err != 0) {
-    connect_failed(conn, std::string("connect ") + conn->address.to_string() +
-                             ": " + std::strerror(err));
-    return;
-  }
-  MutexLock lock(mu_);
-  conn->state = Conn::State::kHello;
-}
-
-void TcpTransport::connect_failed(const ConnPtr& conn,
-                                  const std::string& reason) {
-  std::vector<Message> bounces;
+  TcpTransportStats total;
   {
-    MutexLock lock(mu_);
-    ++tcp_stats_.connect_failures;
-    conn->fd.reset();
-    ++conn->attempts;
-    if (conn->attempts < config_.connect_attempts) {
-      const std::uint32_t shift =
-          std::min<std::uint32_t>(conn->attempts - 1, 10);
-      const std::uint32_t backoff = std::min(
-          config_.connect_backoff_max_ms, config_.connect_backoff_ms << shift);
-      conn->state = Conn::State::kBackoff;
-      conn->retry_at = std::chrono::steady_clock::now() +
-                       std::chrono::milliseconds(backoff);
-      return;
-    }
-    // Out of attempts: fail every queued request and start fresh on the
-    // next send toward this peer.
-    for (auto& [key, tracked] : conn->awaiting_response) {
-      bounces.push_back(tracked.header);
-    }
-    conn->awaiting_response.clear();
-    conn->outbox.clear();
-    conn->outbox_bytes = 0;
-    conn->out_offset = 0;
-    conn->attempts = 0;
-    conn->state = Conn::State::kIdle;
-    write_cv_.notify_all();
+    MutexLock lock(ep_mu_);
+    total.bounced_requests = bounced_requests_;
   }
-  for (const auto& h : bounces) bounce_request(h, reason);
-}
-
-void TcpTransport::close_conn(const ConnPtr& conn, const std::string& reason) {
-  std::vector<Message> bounces;
   {
-    MutexLock lock(mu_);
-    if (conn->state == Conn::State::kEstablished) {
-      ++tcp_stats_.connections_lost;
-    }
-    conn->fd.reset();
-    for (auto& [key, tracked] : conn->awaiting_response) {
-      bounces.push_back(tracked.header);
-    }
-    conn->awaiting_response.clear();
-    conn->outbox.clear();
-    conn->outbox_bytes = 0;
-    conn->out_offset = 0;
-    conn->hello_in.clear();
-    conn->hello_out.clear();
-    conn->hello_sent = 0;
-    conn->stalled = false;
-    conn->decoder.reset();
-    for (auto it = routes_.begin(); it != routes_.end();) {
-      it = (it->second == conn) ? routes_.erase(it) : std::next(it);
-    }
-    if (conn->outbound) {
-      conn->state = Conn::State::kIdle;
-      conn->attempts = 0;
-    } else {
-      conn->dead = true;
-    }
-    write_cv_.notify_all();
+    MutexLock lock(route_mu_);
+    total.route_conflicts = route_conflicts_;
+    total.route_takeovers = route_takeovers_;
   }
-  const std::string text =
-      "connection to " +
-      (conn->outbound ? conn->address.to_string() : std::string("peer")) +
-      " lost (" + reason + ")";
-  for (const auto& h : bounces) bounce_request(h, text);
-}
-
-void TcpTransport::loop_writable(const ConnPtr& conn) {
-  // Handshake bytes go first, before any frame.
-  while (conn->hello_sent < conn->hello_out.size()) {
-    const ssize_t n = ::send(
-        conn->fd.get(), conn->hello_out.data() + conn->hello_sent,
-        conn->hello_out.size() - conn->hello_sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->hello_sent += static_cast<std::size_t>(n);
-    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return;
-    } else if (n < 0 && errno == EINTR) {
-      continue;
-    } else {
-      close_conn(conn, std::string("write: ") + std::strerror(errno));
-      return;
-    }
-  }
-  if (conn->state != Conn::State::kEstablished) return;
-
-  // Swap the queue out and run the send() syscalls without mu_ — kernel
-  // buffer copies must not serialize producers on other connections.
-  // Frames queued meanwhile land behind the leftovers we re-insert, so
-  // order is preserved; outbox_bytes stays high until re-accounting,
-  // which only errs on the side of backpressure.
-  std::deque<Buffer> batch;
-  std::size_t offset = 0;
-  {
-    MutexLock lock(mu_);
-    batch.swap(conn->outbox);
-    offset = conn->out_offset;
-    conn->out_offset = 0;
-  }
-
-  bool failed = false;
-  std::string fail_reason;
-  std::size_t sent_bytes = 0;
-  while (!batch.empty()) {
-    Buffer& front = batch.front();
-    const ssize_t n = ::send(conn->fd.get(), front.data() + offset,
-                             front.size() - offset, MSG_NOSIGNAL);
-    if (n > 0) {
-      offset += static_cast<std::size_t>(n);
-      sent_bytes += static_cast<std::size_t>(n);
-      if (offset == front.size()) {
-        batch.pop_front();
-        offset = 0;
-      }
-    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      break;
-    } else if (n < 0 && errno == EINTR) {
-      continue;
-    } else {
-      failed = true;
-      fail_reason = std::string("write: ") + std::strerror(errno);
-      break;
-    }
-  }
-
-  {
-    MutexLock lock(mu_);
-    conn->outbox_bytes -= sent_bytes;
-    conn->out_offset = offset;
-    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
-      conn->outbox.push_front(std::move(*it));
-    }
-    if (conn->outbox_bytes <= config_.write_low_watermark) {
-      write_cv_.notify_all();
-    }
-  }
-  if (failed) close_conn(conn, fail_reason);
-}
-
-void TcpTransport::loop_readable(const ConnPtr& conn) {
-  std::uint8_t buf[64 * 1024];
-  while (conn->fd.valid()) {
-    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
-    if (n == 0) {
-      close_conn(conn, "closed by peer");
-      return;
-    }
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      close_conn(conn, std::string("read: ") + std::strerror(errno));
-      return;
-    }
-    {
-      MutexLock lock(mu_);
-      tcp_stats_.bytes_received += static_cast<std::uint64_t>(n);
-    }
-    ByteView data{buf, static_cast<std::size_t>(n)};
-
-    // Finish the handshake before framing begins.
-    if (conn->state == Conn::State::kHello ||
-        conn->state == Conn::State::kConnecting) {
-      const std::size_t need = Hello::kWireBytes - conn->hello_in.size();
-      const std::size_t take = std::min(need, data.size());
-      conn->hello_in.insert(conn->hello_in.end(), data.begin(),
-                            data.begin() + static_cast<long>(take));
-      data = data.subspan(take);
-      if (conn->hello_in.size() < Hello::kWireBytes) continue;
-      try {
-        (void)decode_hello(
-            ByteView{conn->hello_in.data(), conn->hello_in.size()});
-      } catch (const FrameError& e) {
-        {
-          MutexLock lock(mu_);
-          ++tcp_stats_.protocol_errors;
-        }
-        if (m_handshake_failures_) m_handshake_failures_->inc();
-        close_conn(conn, e.what());
-        return;
-      }
-      MutexLock lock(mu_);
-      conn->state = Conn::State::kEstablished;
-      conn->attempts = 0;
-      conn->was_established = true;
-      ++tcp_stats_.connections_established;
-      // Flushing queued frames + the rest of this read happen below.
-    }
-
-    if (!data.empty()) conn->decoder.feed(data);
-    try {
-      while (auto m = conn->decoder.next()) {
-        loop_dispatch(conn, std::move(*m));
-        if (!conn->fd.valid()) return;  // dispatch closed it
-      }
-    } catch (const FrameError& e) {
-      {
-        MutexLock lock(mu_);
-        ++tcp_stats_.protocol_errors;
-      }
-      close_conn(conn, e.what());
-      return;
-    }
-  }
-}
-
-void TcpTransport::loop_dispatch(const ConnPtr& conn, Message&& m) {
-  const Message header = header_of(m);
-  bool local = false;
-  bool conflict = false;
-  bool takeover = false;
-  {
-    MutexLock lock(mu_);
-    ++tcp_stats_.frames_received;
-    // Kind counters cover traffic both ways (messages_sent/bytes_sent
-    // stay send-only): a client's `responses` is what its fleet answered.
-    switch (m.kind) {
-      case MessageKind::kRequest:
-        ++stats_.requests;
-        break;
-      case MessageKind::kResponse:
-        ++stats_.responses;
-        break;
-      case MessageKind::kError:
-        ++stats_.errors;
-        break;
-    }
-    if (m.kind != MessageKind::kRequest) {
-      // The response's destination is the endpoint that issued the call.
-      auto it = conn->awaiting_response.find({m.dst, m.correlation_id});
-      if (it != conn->awaiting_response.end()) {
-        // Whole-RPC latency: local send() to response frame decoded.
-        obs::Histogram* h = rpc_us_[static_cast<std::uint8_t>(m.type)];
-        if (h) h->observe_since(it->second.queued_at);
-        conn->awaiting_response.erase(it);
-      }
-    }
-    // Learn the return route for the peer's endpoint (how responses to a
-    // remote client find their way back out). The first registration
-    // holds while its connection stays active: a *different* connection
-    // claiming an already-routed endpoint is a collision (two peers
-    // sharing an endpoint id), and silently re-pointing the route would
-    // leak one peer's responses to the other — the collider is refused
-    // deterministically instead. Once the owning connection has been
-    // silent past route_stale_ms (a drop this side never observed —
-    // close_conn erases routes on the drops it does observe), the new
-    // claimant takes the route over, so a re-dialing peer is locked out
-    // for at most the stale window.
-    conn->last_frame_at = std::chrono::steady_clock::now();
-    if (m.src != 0 && endpoints_.count(m.src) == 0) {
-      const auto [rit, inserted] = routes_.try_emplace(m.src, conn);
-      if (!inserted && rit->second != conn) {
-        const auto stale_cutoff =
-            conn->last_frame_at -
-            std::chrono::milliseconds(config_.route_stale_ms);
-        if (rit->second->last_frame_at <= stale_cutoff) {
-          ++tcp_stats_.route_takeovers;
-          rit->second = conn;
-          takeover = true;
-        } else {
-          ++tcp_stats_.route_conflicts;
-          conflict = true;
-        }
-      }
-    }
-    local = endpoints_.count(m.dst) > 0;
-  }
-  if (takeover) {
-    SIGMA_LOG_WARN << "tcp: endpoint " << m.src
-                   << " return route taken over by a new connection (old "
-                      "one silent past the stale window)";
-  }
-  if (conflict) {
-    SIGMA_LOG(LogLevel::kError)
-        << "tcp: endpoint " << m.src
-        << " re-registered by a different peer connection while its route "
-           "is active — refusing the message (endpoint-id collision; give "
-           "each client a distinct endpoint base)";
-    MutexLock lock(mu_);
-    ++stats_.dropped;
-    if (header.kind != MessageKind::kRequest) return;
-    Message bounce = Message::error_to(
-        header, "transport: endpoint " + std::to_string(header.src) +
-                    " already routed to another peer (endpoint-id "
-                    "collision)");
-    Buffer frame = encode_frame(bounce);
-    conn->outbox_bytes += frame.size();
-    conn->outbox.push_back(std::move(frame));
-    ++stats_.errors;
-    return;
-  }
-  if (local && deliver_local(std::move(m))) return;
-
-  // Unknown destination: refuse requests over the wire (the remote
-  // caller's RPC fails fast), drop stray responses.
-  MutexLock lock(mu_);
-  ++stats_.dropped;
-  if (header.kind != MessageKind::kRequest) return;
-  Message bounce = Message::error_to(
-      header, "transport: no endpoint " + std::to_string(header.dst));
-  Buffer frame = encode_frame(bounce);
-  conn->outbox_bytes += frame.size();
-  conn->outbox.push_back(std::move(frame));
-  ++stats_.errors;
+  for (const auto& r : reactors_) r->add_tcp_stats(total);
+  return total;
 }
 
 }  // namespace sigma::net

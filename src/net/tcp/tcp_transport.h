@@ -1,12 +1,23 @@
 // TCP implementation of net::Transport: real sockets between OS
 // processes, same Message semantics as the loopback.
 //
-// One event-loop thread owns every file descriptor (listener, wake pipe,
-// connections) and multiplexes them with poll(). Other threads interact
-// only through the mutex-guarded queues: send() frames the message into
-// the target connection's write queue and pokes the wake pipe; delivery
-// of received messages to local endpoint handlers happens on the loop
-// thread (handlers enqueue, as with the loopback).
+// The event plane is SHARDED. The transport owns N Reactors (see
+// net/tcp/reactor.h) — each a thread with its own epoll instance (Linux;
+// poll() fallback elsewhere or under force_poll), its own eventfd wakeup
+// and a private connection table. Connections are partitioned by peer
+// hash — outbound by dial address at first send, inbound by peer address
+// at accept — and never migrate between shards, so each reactor runs the
+// original single-loop state machines against a strictly private fd set:
+//
+//            ┌ reactor 0 ── epoll ── conns {a, d, ...}   (+ listener)
+//   send() ──┤ reactor 1 ── epoll ── conns {b, ...}
+//            └ reactor N ── epoll ── conns {c, ...}
+//
+// This class is the layer above the shards: local endpoint registry,
+// static peer map, learned return routes, and the hash that picks a
+// shard. send() resolves the destination (local endpoint, learned route,
+// or peer map), then queues on the owning reactor; the reactor frames,
+// writev()s and dispatches without ever touching another shard.
 //
 // Per-peer connection state machine (outbound connections are dialed
 // lazily, on the first send toward that peer's address):
@@ -30,27 +41,29 @@
 // endpoints are resolved through the static peer map (endpoint id ->
 // host:port, for clients dialing node services) or through learned routes
 // (a server answers a client endpoint over the connection that carried
-// its request).
+// its request). Both the endpoint table and the route directory are
+// transport-global — endpoint ids are fleet-unique regardless of which
+// shard a connection hashed to — and live behind locks RANKED BELOW the
+// shard mutexes (kTransportEndpoints, kTransportRoutes < kTransport), so
+// a reactor consults them only with its own mutex released and no lock
+// order ever crosses two shards.
 //
 // Backpressure: each connection's write queue is capped; send() from a
-// non-loop thread blocks once the queue passes the high watermark and
+// non-reactor thread blocks once the queue passes the high watermark and
 // resumes below the low watermark — a slow or stalled peer throttles its
 // producers instead of ballooning memory.
 #pragma once
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <optional>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
-#include "net/tcp/frame.h"
+#include "net/tcp/reactor.h"
 #include "net/tcp/socket.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -69,6 +82,16 @@ struct TcpTransportConfig {
 
   /// First id handed out by register_endpoint().
   EndpointId endpoint_base = kClientEndpointBase;
+
+  /// Event-loop shards. 0 = auto: min(hardware_concurrency, 4), at least
+  /// 1. Clamped to 64. Each shard is one thread + one epoll instance;
+  /// connections are hash-partitioned across them and never migrate.
+  std::uint32_t reactors = 0;
+
+  /// Use the portable poll() loop even where epoll is available (mainly
+  /// for testing the fallback; SIGMA_TCP_FORCE_POLL=1 in the environment
+  /// has the same effect).
+  bool force_poll = false;
 
   /// Largest acceptable frame body. Frames above this are a protocol
   /// error (connection dropped) — bounds memory against corrupt peers.
@@ -108,13 +131,14 @@ struct TcpTransportConfig {
 
   /// Optional metrics plane (must outlive the transport). Adds per-op
   /// RPC latency histograms (send to response), connect / handshake
-  /// counters, backpressure-stall counts and a write-queue depth gauge
-  /// with high-water tracking. Null = zero instrumentation beyond the
-  /// existing struct counters.
+  /// counters, backpressure-stall counts, a write-queue depth gauge with
+  /// high-water tracking, the fleet-wide wakeup counter, and per-shard
+  /// transport.reactor<i>.{frames,bytes_received,wakeups} counters. Null
+  /// = zero instrumentation beyond the existing struct counters.
   obs::Registry* metrics = nullptr;
 };
 
-/// TCP-specific counters on top of NetStats.
+/// TCP-specific counters on top of NetStats (summed across reactors).
 struct TcpTransportStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_established = 0;
@@ -124,6 +148,10 @@ struct TcpTransportStats {
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t bounced_requests = 0;
+  /// Event-loop wakeup pokes (eventfd writes): producers signalling a
+  /// reactor that new work is queued. A wakeup is cheap but not free —
+  /// this is the cross-thread chatter the shards are meant to bound.
+  std::uint64_t wakeups = 0;
   /// Messages refused because their source endpoint's return route is
   /// already owned by a different, recently-active connection — two
   /// peers sharing an endpoint id (e.g. clients started with the same
@@ -134,13 +162,13 @@ struct TcpTransportStats {
   std::uint64_t route_takeovers = 0;
 };
 
-class TcpTransport final : public Transport {
+class TcpTransport final : public Transport, private ReactorHost {
  public:
-  /// Binds the listener (when configured) and starts the event loop.
+  /// Binds the listener (when configured) and starts every reactor.
   /// Throws SocketError if the listen address cannot be bound.
   explicit TcpTransport(TcpTransportConfig config);
 
-  /// Stops the loop, closes every connection, unblocks senders.
+  /// Stops every reactor, closes every connection, unblocks senders.
   ~TcpTransport() override;
 
   EndpointId register_endpoint(Handler handler) override;
@@ -153,141 +181,70 @@ class TcpTransport final : public Transport {
   /// Actual listening port (resolves port 0); 0 when not listening.
   std::uint16_t listen_port() const { return listen_port_; }
 
+  /// Number of event-loop shards this transport is running.
+  std::size_t reactor_count() const { return reactors_.size(); }
+
  private:
   struct Endpoint {
     Handler handler;
     int active_deliveries = 0;
   };
 
-  /// One TCP connection (inbound or outbound) and its state machine.
-  ///
-  /// Ownership is split two ways (annotations cannot express a nested
-  /// struct guarded by the outer class's mu_, so the split is documented
-  /// here and enforced by the TSan lane):
-  ///   * loop-thread-only: state, fd, address, hello_*, decoder, attempts,
-  ///     retry_at, last_frame_at, was_established — touched exclusively by
-  ///     the event loop once the Conn is registered;
-  ///   * guarded by TcpTransport::mu_: outbox, out_offset, outbox_bytes,
-  ///     awaiting_response, stalled, dead — the producer/loop handoff.
-  struct Conn {
-    enum class State { kIdle, kBackoff, kConnecting, kHello, kEstablished };
+  // ---- ReactorHost (called from reactor threads, no shard mutex held) ----
+  bool deliver_local(Message&& m) override;
+  void bounce_request(const Message& header, const std::string& text) override;
+  RouteClaim learn_route(EndpointId src, const ConnPtr& conn) override;
+  void forget_routes(const ConnPtr& conn) override;
+  void adopt_accepted(SocketFd fd) override;
 
-    explicit Conn(std::size_t max_body) : decoder(max_body) {}
-
-    State state = State::kIdle;
-    SocketFd fd;
-    bool outbound = false;
-    TcpAddress address;  // dial target (outbound only)
-
-    // Handshake progress.
-    Buffer hello_out;            // our HELLO, written before any frame
-    std::size_t hello_sent = 0;  // bytes of hello_out written
-    Buffer hello_in;             // peer HELLO accumulating
-
-    FrameDecoder decoder;
-
-    // Write queue: frames awaiting the socket; front may be partial.
-    std::deque<Buffer> outbox;
-    std::size_t out_offset = 0;
-    std::size_t outbox_bytes = 0;
-
-    // Locally-originated requests routed over this connection, keyed by
-    // (requesting endpoint, correlation id) — correlation ids are only
-    // unique per RpcEndpoint — until their response arrives; bounced as
-    // error responses if the connection dies first. Entries older than
-    // request_track_ttl_ms are swept (the caller abandoned the call at
-    // its RPC timeout without telling us). Headers only.
-    struct TrackedRequest {
-      Message header;
-      std::chrono::steady_clock::time_point queued_at;
-    };
-    std::map<std::pair<EndpointId, std::uint64_t>, TrackedRequest>
-        awaiting_response;
-
-    // Connect retry state.
-    std::uint32_t attempts = 0;
-    std::chrono::steady_clock::time_point retry_at{};
-
-    /// When this connection last received a frame — the freshness that
-    /// defends its learned routes against takeover.
-    std::chrono::steady_clock::time_point last_frame_at{};
-
-    /// Whether this connection ever completed a handshake — a later dial
-    /// of the same Conn is a reconnect, not a first connect (metrics).
-    bool was_established = false;
-
-    /// Set by a producer whose backpressure wait timed out; the loop
-    /// fails the connection (it owns the fd).
-    bool stalled = false;
-
-    bool dead = false;  // inbound conn finished; reap it
-  };
-
-  using ConnPtr = std::shared_ptr<Conn>;
-
-  // ---- Event loop (loop thread only) -------------------------------------
-  void loop();
-  void loop_accept();
-  void loop_dial(const ConnPtr& conn);
-  void loop_connect_ready(const ConnPtr& conn);
-  void loop_readable(const ConnPtr& conn);
-  void loop_writable(const ConnPtr& conn);
-  void loop_dispatch(const ConnPtr& conn, Message&& m);
-  /// Tear down a connection: bounce requests awaiting responses, drop the
-  /// queue, forget learned routes. Outbound conns return to kIdle (a
-  /// later send re-dials); inbound conns are reaped.
-  void close_conn(const ConnPtr& conn, const std::string& reason);
-  /// Connect attempt failed: back off and retry, or give up and bounce.
-  void connect_failed(const ConnPtr& conn, const std::string& reason);
-
-  // ---- Shared helpers ----------------------------------------------------
-  /// Deliver to a local endpoint handler (any thread; takes mu_ itself).
-  bool deliver_local(Message&& m);
-  /// Synthesize the error response for an undeliverable request and hand
-  /// it to the local requester (silently drops if the requester is gone).
-  void bounce_request(const Message& header, const std::string& text);
-  void wake_loop();
-  bool on_loop_thread() const {
-    return std::this_thread::get_id() == loop_thread_.get_id();
-  }
+  /// The shard owning connections to `host:port` (stable FNV-1a hash —
+  /// every send toward one address lands on the same reactor).
+  Reactor& shard_for(const std::string& host, std::uint16_t port);
 
   TcpTransportConfig config_;
 
-  mutable Mutex mu_{LockRank::kTransport};
-  CondVar idle_cv_;   // unregister_endpoint waits here
-  CondVar write_cv_;  // backpressured senders wait here
+  /// Set first in the destructor; producers observe it without any lock
+  /// (send() becomes a no-op while the reactors wind down).
+  std::atomic<bool> stopping_{false};
+
+  // ---- Endpoint table (rank kTransportEndpoints, below the shards) ------
+  mutable Mutex ep_mu_{LockRank::kTransportEndpoints};
+  CondVar idle_cv_;  // unregister_endpoint waits here
   std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_
-      SIGMA_GUARDED_BY(mu_);
-  EndpointId next_id_ SIGMA_GUARDED_BY(mu_);
+      SIGMA_GUARDED_BY(ep_mu_);
+  EndpointId next_id_ SIGMA_GUARDED_BY(ep_mu_);
+  /// Local-delivery traffic (wire traffic is counted per reactor).
+  NetStats local_stats_ SIGMA_GUARDED_BY(ep_mu_);
+  std::uint64_t bounced_requests_ SIGMA_GUARDED_BY(ep_mu_) = 0;
 
-  /// Outbound connections by dial address (persist across reconnects).
-  std::map<std::pair<std::string, std::uint16_t>, ConnPtr> outbound_
-      SIGMA_GUARDED_BY(mu_);
-  /// Accepted connections.
-  std::vector<ConnPtr> inbound_ SIGMA_GUARDED_BY(mu_);
-  /// Learned routes: remote endpoint id -> connection that carried its
-  /// last message (how a daemon answers client endpoints).
-  std::unordered_map<EndpointId, ConnPtr> routes_ SIGMA_GUARDED_BY(mu_);
+  // ---- Learned routes (rank kTransportRoutes, below the shards) ---------
+  /// Remote endpoint id -> connection that carried its last message (how
+  /// a daemon answers client endpoints). Transport-global: a response
+  /// produced by any thread must find the route no matter which shard
+  /// the inbound connection hashed to.
+  mutable Mutex route_mu_{LockRank::kTransportRoutes};
+  std::unordered_map<EndpointId, ConnPtr> routes_
+      SIGMA_GUARDED_BY(route_mu_);
+  std::uint64_t route_conflicts_ SIGMA_GUARDED_BY(route_mu_) = 0;
+  std::uint64_t route_takeovers_ SIGMA_GUARDED_BY(route_mu_) = 0;
 
-  NetStats stats_ SIGMA_GUARDED_BY(mu_);
-  TcpTransportStats tcp_stats_ SIGMA_GUARDED_BY(mu_);
-
-  /// Cached instruments (null without config_.metrics). RPC latency is
-  /// measured send() -> response dispatch, per op, against the tracking
-  /// entries in Conn::awaiting_response.
+  /// Cached instruments (null without config_.metrics), shared by every
+  /// reactor. RPC latency is measured send() -> response dispatch, per
+  /// op, against the tracking entries in TcpConn::awaiting_response.
   obs::Histogram* rpc_us_[kMaxMessageType + 1] = {};
   obs::Counter* m_connects_ = nullptr;
   obs::Counter* m_reconnects_ = nullptr;
   obs::Counter* m_handshake_failures_ = nullptr;
   obs::Counter* m_backpressure_stalls_ = nullptr;
+  obs::Counter* m_wakeups_ = nullptr;
   obs::Gauge* m_write_queue_bytes_ = nullptr;
 
-  SocketFd listen_fd_;
+  SocketFd listen_fd_;  // owned here, borrowed by reactor 0
   std::uint16_t listen_port_ = 0;
-  SocketFd wake_read_;
-  SocketFd wake_write_;
-  bool stopping_ SIGMA_GUARDED_BY(mu_) = false;
-  std::thread loop_thread_;
+
+  /// The shards. Sized at construction, immutable afterwards — indexing
+  /// needs no lock.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 };
 
 }  // namespace sigma::net

@@ -63,6 +63,7 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
   net::TcpTransportConfig tcp;
   tcp.listen = config_.listen;
   tcp.endpoint_base = config_.first_endpoint;
+  tcp.reactors = config_.reactors;
   tcp.max_body_bytes = config_.max_body_bytes;
   tcp.metrics = &registry_;
   transport_ = std::make_unique<net::TcpTransport>(std::move(tcp));
@@ -119,6 +120,7 @@ obs::MetricsSnapshot NodeServer::metrics_snapshot() const {
   snap.add_counter("tcp.frames_received", tcp.frames_received);
   snap.add_counter("tcp.bytes_received", tcp.bytes_received);
   snap.add_counter("tcp.bounced_requests", tcp.bounced_requests);
+  snap.add_counter("tcp.wakeups", tcp.wakeups);
   snap.add_counter("tcp.route_conflicts", tcp.route_conflicts);
   snap.add_counter("tcp.route_takeovers", tcp.route_takeovers);
 
@@ -174,13 +176,20 @@ obs::MetricsSnapshot NodeServer::metrics_snapshot() const {
 }
 
 void NodeServer::flush() {
-  // Unbinding a service waits for its in-flight drain, so once this loop
-  // finishes no request can reach a node again — only then is sealing
-  // the open containers the complete final state.
+  // Retire (unbind + drain-wait) EVERY service before destroying ANY:
+  // the last in-flight request on one service may be a stats scrape
+  // whose snapshot provider walks all of them. Once the loop finishes no
+  // request can reach a node again — only then is sealing the open
+  // containers the complete final state.
+  for (auto& service : services_) service->retire();
   services_.clear();
   for (auto& node : nodes_) node->flush();
 }
 
-NodeServer::~NodeServer() = default;
+NodeServer::~NodeServer() {
+  // Same two-phase teardown as flush(): quiesce all services, then let
+  // the members destroy in reverse declaration order.
+  for (auto& service : services_) service->retire();
+}
 
 }  // namespace sigma::server

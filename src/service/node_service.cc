@@ -33,7 +33,10 @@ NodeService::NodeService(DedupNode& node, net::Transport& transport,
       [this](Message&& m) { enqueue(std::move(m)); });
 }
 
-NodeService::~NodeService() {
+NodeService::~NodeService() { retire(); }
+
+void NodeService::retire() {
+  if (retired_.exchange(true)) return;
   // Stop deliveries (blocks until in-flight enqueues return), then wait
   // for both lanes' drain tasks to run their inboxes dry.
   transport_.unregister_endpoint(endpoint_);

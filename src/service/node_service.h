@@ -22,6 +22,7 @@
 // non-empty), so a large cluster idles without pinning pool threads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -64,6 +65,14 @@ class NodeService {
 
   /// Unbinds the endpoint and waits for the in-flight drain to finish.
   ~NodeService();
+
+  /// Stop serving: unbind the endpoint (blocks until in-flight deliveries
+  /// return) and wait for both lanes to run dry. Idempotent; the
+  /// destructor calls it. A host with several services must retire ALL of
+  /// them before destroying ANY — a still-serving sibling's snapshot
+  /// provider walks every service, so none may be torn down while any
+  /// other can still execute a request.
+  void retire() SIGMA_EXCLUDES(mu_);
 
   NodeService(const NodeService&) = delete;
   NodeService& operator=(const NodeService&) = delete;
@@ -110,6 +119,9 @@ class NodeService {
   /// every storage lock, and — via the kStatsSnapshot provider — the
   /// metrics registry and sibling services' stats.
   Mutex node_mu_{LockRank::kNodeSerial};
+
+  /// retire() ran (dtor-path threads only contend on the exchange).
+  std::atomic<bool> retired_{false};
 
   mutable Mutex mu_{LockRank::kService};
   CondVar idle_cv_;

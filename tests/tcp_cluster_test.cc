@@ -7,12 +7,17 @@
 // bounded time, never a hang.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <optional>
+#include <thread>
+#include <tuple>
 
 #include "cluster/cluster.h"
 #include "common/random.h"
 #include "net/rpc.h"
+#include "net/tcp/tcp_transport.h"
 #include "core/sigma_dedupe.h"
 #include "server/node_server.h"
 #include "workload/generators.h"
@@ -23,16 +28,20 @@ namespace {
 using namespace std::chrono_literals;
 
 /// A fleet of in-process node daemons (2 TCP servers x 2 nodes each by
-/// default) and the TransportConfig describing it.
+/// default) and the TransportConfig describing it. `reactors` shards both
+/// the daemons' transports and (via transport()) the client's (0 = auto).
 class TcpFleet {
  public:
-  explicit TcpFleet(std::size_t daemons = 2, std::size_t nodes_each = 2) {
+  explicit TcpFleet(std::size_t daemons = 2, std::size_t nodes_each = 2,
+                    std::uint32_t reactors = 0)
+      : reactors_(reactors) {
     net::EndpointId next_endpoint = net::kServiceEndpointBase;
     for (std::size_t d = 0; d < daemons; ++d) {
       server::NodeServerConfig cfg;
       cfg.listen = {"127.0.0.1", 0};
       cfg.num_nodes = nodes_each;
       cfg.first_endpoint = next_endpoint;  // fleet-wide unique ids
+      cfg.reactors = reactors;
       next_endpoint += static_cast<net::EndpointId>(nodes_each);
       servers_.push_back(std::make_unique<server::NodeServer>(cfg));
     }
@@ -43,6 +52,7 @@ class TcpFleet {
     t.mode = TransportMode::kTcp;
     t.pipeline_depth = pipeline_depth;
     t.rpc_timeout_ms = 20000;
+    t.tcp_reactors = reactors_;
     for (const auto& server : servers_) {
       for (std::size_t i = 0; i < server->num_nodes(); ++i) {
         t.tcp_nodes.push_back(
@@ -61,6 +71,7 @@ class TcpFleet {
   void kill(std::size_t daemon) { servers_.at(daemon).reset(); }
 
  private:
+  std::uint32_t reactors_ = 0;
   std::vector<std::unique_ptr<server::NodeServer>> servers_;
 };
 
@@ -90,14 +101,20 @@ Dataset small_linux_trace() {
   return materialize_dataset("linux-small", gen.content(), *chunker);
 }
 
-class TcpSchemeIdentity : public ::testing::TestWithParam<RoutingScheme> {};
+class TcpSchemeIdentity
+    : public ::testing::TestWithParam<
+          std::tuple<RoutingScheme, std::uint32_t>> {};
 
 TEST_P(TcpSchemeIdentity, TcpReportEqualsDirectReport) {
-  // Both probe modes over real sockets — batched scatter-gather (the
-  // default: all probe RPCs of a routing decision in flight together)
-  // and the sequential per-node fallback — must reproduce the
-  // direct-call report bit-identically, Fig. 7 probe counts included.
-  const RoutingScheme scheme = GetParam();
+  // Real sockets must reproduce the direct-call report bit-identically,
+  // Fig. 7 probe counts included — at every reactor-shard count: sharding
+  // the event plane repartitions connections across threads but must
+  // never reorder, drop or duplicate a frame within one connection. At 1
+  // reactor both probe modes are exercised — batched scatter-gather (the
+  // default: all probe RPCs of a routing decision in flight together) and
+  // the sequential per-node fallback; the sharded counts keep the
+  // default.
+  const auto [scheme, reactors] = GetParam();
   const Dataset trace = small_linux_trace();
 
   Cluster direct(direct_config(scheme, 4));
@@ -105,8 +122,11 @@ TEST_P(TcpSchemeIdentity, TcpReportEqualsDirectReport) {
   direct.flush();
   const auto d = direct.report();
 
-  for (const bool batched : {true, false}) {
-    TcpFleet fleet(2, 2);  // fresh daemons per run: node state is remote
+  const std::vector<bool> probe_modes =
+      reactors == 1 ? std::vector<bool>{true, false}
+                    : std::vector<bool>{true};
+  for (const bool batched : probe_modes) {
+    TcpFleet fleet(2, 2, reactors);  // fresh daemons: node state is remote
     ClusterConfig cfg = tcp_config(scheme, fleet);
     cfg.transport.batched_probes = batched;
     Cluster over_tcp(cfg);
@@ -130,12 +150,14 @@ TEST_P(TcpSchemeIdentity, TcpReportEqualsDirectReport) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllSchemes, TcpSchemeIdentity,
-                         ::testing::Values(RoutingScheme::kSigma,
-                                           RoutingScheme::kStateless,
-                                           RoutingScheme::kStateful,
-                                           RoutingScheme::kExtremeBinning,
-                                           RoutingScheme::kChunkDht));
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllShardCounts, TcpSchemeIdentity,
+    ::testing::Combine(::testing::Values(RoutingScheme::kSigma,
+                                         RoutingScheme::kStateless,
+                                         RoutingScheme::kStateful,
+                                         RoutingScheme::kExtremeBinning,
+                                         RoutingScheme::kChunkDht),
+                       ::testing::Values(1u, 2u, 4u)));
 
 TEST(TcpClusterTest, BackupRestoreRoundTripsOverSockets) {
   // Full payload path through the facade: chunking, fingerprinting,
@@ -216,6 +238,123 @@ TEST(TcpClusterTest, KilledDaemonSurfacesAsErrorNotHang) {
   // Connection refused is bounced after the dial retry budget — well
   // inside the 15 s RPC timeout, nowhere near a hang.
   EXPECT_LT(std::chrono::steady_clock::now() - start, 10s);
+}
+
+TEST(TcpClusterTest, ForcedPollFallbackMatchesDirectReport) {
+  // SIGMA_TCP_FORCE_POLL=1 routes every reactor through the portable
+  // poll() loop instead of epoll. The fallback must be semantically
+  // invisible: same bit-identical report, even sharded.
+  ::setenv("SIGMA_TCP_FORCE_POLL", "1", 1);
+  struct EnvGuard {
+    ~EnvGuard() { ::unsetenv("SIGMA_TCP_FORCE_POLL"); }
+  } guard;
+
+  const Dataset trace = small_linux_trace();
+  Cluster direct(direct_config(RoutingScheme::kSigma, 4));
+  direct.backup_dataset(trace);
+  direct.flush();
+  const auto d = direct.report();
+
+  TcpFleet fleet(2, 2, /*reactors=*/2);
+  Cluster over_tcp(tcp_config(RoutingScheme::kSigma, fleet));
+  over_tcp.backup_dataset(trace);
+  over_tcp.flush();
+
+  const auto t = over_tcp.report();
+  EXPECT_EQ(d.logical_bytes, t.logical_bytes);
+  EXPECT_EQ(d.physical_bytes, t.physical_bytes);
+  EXPECT_EQ(d.node_usage, t.node_usage);
+  EXPECT_GT(over_tcp.net_stats().messages_sent, 0u);
+}
+
+TEST(TcpClusterTest, ManyPeerTortureScrapesAndKills) {
+  // 16 daemon endpoints behind 4 OS-socket servers, a 4-way-sharded
+  // client transport, 4 producer threads hammering kStatsSnapshot
+  // scrapes across every endpoint while one daemon is killed mid-flight.
+  // Contract: calls to dead endpoints fail as RpcErrors (never hang),
+  // calls to survivors keep succeeding after the kill, and the whole
+  // storm stays inside a bounded wall clock.
+  TcpFleet fleet(4, 4, /*reactors=*/4);
+  const TransportConfig fleet_cfg = fleet.transport();
+
+  net::TcpTransportConfig cfg;
+  cfg.reactors = 4;
+  for (const auto& node : fleet_cfg.tcp_nodes) {
+    cfg.remote_endpoints[node.endpoint] = node.address;
+  }
+  net::TcpTransport transport(std::move(cfg));
+  ASSERT_EQ(transport.reactor_count(), 4u);
+
+  std::vector<net::EndpointId> endpoints;
+  for (const auto& node : fleet_cfg.tcp_nodes) {
+    endpoints.push_back(node.endpoint);
+  }
+  ASSERT_EQ(endpoints.size(), 16u);
+  // Endpoints of the daemon that will be killed (daemon 2: ids 8..11 of
+  // the list — 4 nodes per daemon, in registration order).
+  const auto doomed = [&](net::EndpointId id) {
+    return id >= endpoints[8] && id <= endpoints[11];
+  };
+
+  constexpr int kRounds = 8;
+  constexpr int kKillAfterRound = 2;
+  std::atomic<int> rounds_done{0};
+  std::atomic<bool> killed{false};
+  std::atomic<std::uint64_t> ok_after_kill{0};
+  std::atomic<std::uint64_t> dead_errors{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> scrapers;
+  for (int w = 0; w < 4; ++w) {
+    scrapers.emplace_back([&] {
+      net::RpcEndpoint rpc(transport);
+      for (int round = 0; round < kRounds; ++round) {
+        for (const net::EndpointId dst : endpoints) {
+          try {
+            const Buffer snap = rpc.call_sync(
+                dst, net::MessageType::kStatsSnapshot, Buffer{}, 15s);
+            EXPECT_FALSE(snap.empty());
+            if (killed.load() && !doomed(dst)) ++ok_after_kill;
+            // A scrape of a dead daemon may still succeed if it raced
+            // the kill; that is fine — only hangs are a failure.
+          } catch (const net::RpcError&) {
+            // Tolerated only once the kill has happened (or raced us).
+            ++dead_errors;
+          }
+        }
+        ++rounds_done;
+      }
+    });
+  }
+
+  // Kill daemon 2 once the storm is under way.
+  while (rounds_done.load() < 4 * kKillAfterRound) {
+    std::this_thread::sleep_for(5ms);
+  }
+  fleet.kill(2);
+  killed.store(true);
+
+  for (auto& t : scrapers) t.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // Survivors answered after the kill, dead endpoints errored instead of
+  // hanging, and nothing wedged the clock.
+  EXPECT_GT(ok_after_kill.load(), 0u);
+  EXPECT_GT(dead_errors.load(), 0u);
+  EXPECT_LT(elapsed, 120s);
+
+  // Post-storm: every surviving endpoint still answers from this thread.
+  net::RpcEndpoint rpc(transport);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (i >= 8 && i <= 11) continue;  // the killed daemon
+    EXPECT_FALSE(rpc.call_sync(endpoints[i],
+                               net::MessageType::kStatsSnapshot, Buffer{},
+                               15s)
+                     .empty());
+  }
+  const auto tcp = transport.tcp_stats();
+  EXPECT_GT(tcp.frames_received, 0u);
+  EXPECT_GT(tcp.wakeups, 0u);
 }
 
 TEST(TcpClusterTest, DuplicateEndpointIdsRejected) {

@@ -71,6 +71,7 @@ void handle_trace_dump(int) {
   if (!error.empty()) std::cerr << "node_server: " << error << "\n";
   std::cerr << "usage: node_server [--host H] [--port P] [--nodes N]\n"
             << "                   [--first-endpoint E] [--service-threads T]\n"
+            << "                   [--reactors R] [--force-poll]\n"
             << "                   [--container-mb MB] [--approximate]\n"
             << "                   [--backend memory|file] [--data-dir DIR]\n"
             << "                   [--no-fsync] [--trace-sample N]\n"
@@ -82,6 +83,10 @@ void handle_trace_dump(int) {
             << sigma::net::kServiceEndpointBase << ")\n"
             << "  --service-threads T  event-loop threads (default: 2 per "
                "node)\n"
+            << "  --reactors R         transport event-loop shards (default\n"
+            << "                       0 = min(hardware threads, 4))\n"
+            << "  --force-poll         use the portable poll() loop even\n"
+            << "                       where epoll is available\n"
             << "  --container-mb MB    container capacity (default 4)\n"
             << "  --approximate        similarity-index-only dedup (Fig. 5b)\n"
             << "  --backend B          node state storage (default memory);\n"
@@ -137,6 +142,10 @@ int main(int argc, char** argv) {
           static_cast<net::EndpointId>(number(0xFFFFFFFFul));
     } else if (arg == "--service-threads") {
       config.service_threads = number(1024);
+    } else if (arg == "--reactors") {
+      config.reactors = static_cast<std::uint32_t>(number(64));
+    } else if (arg == "--force-poll") {
+      ::setenv("SIGMA_TCP_FORCE_POLL", "1", 1);
     } else if (arg == "--container-mb") {
       config.node.container_capacity_bytes = number(1ul << 20) << 20;
     } else if (arg == "--approximate") {
@@ -204,7 +213,8 @@ int main(int argc, char** argv) {
     std::cout << "READY port=" << server.port() << " endpoints="
               << server.endpoint(0) << ".."
               << server.endpoint(server.num_nodes() - 1)
-              << " nodes=" << server.num_nodes() << std::endl;
+              << " nodes=" << server.num_nodes()
+              << " reactors=" << server.reactors() << std::endl;
 
     // Serve until SIGINT/SIGTERM; SIGUSR1 dumps metrics and SIGUSR2 the
     // trace rings, both without disturbing service.
