@@ -16,6 +16,7 @@ ctest --output-on-failure -j --test-dir build
 
 scripts/tcp_smoke.sh build
 scripts/persist_smoke.sh build
+scripts/registry_smoke.sh build
 
 # Static analysis (no-op exit 0 on machines without clang-tidy).
 scripts/run_clang_tidy.sh build
@@ -80,4 +81,6 @@ if [[ "${SIGMA_SKIP_SANITIZERS:-0}" != "1" ]]; then
       scripts/tcp_smoke.sh build-tsan
   TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1" \
       scripts/persist_smoke.sh build-tsan
+  TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1" \
+      scripts/registry_smoke.sh build-tsan
 fi

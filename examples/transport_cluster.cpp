@@ -20,8 +20,10 @@
 // (Each map entry is host:port[:endpoint], endpoint defaulting to 100; a
 // daemon hosting several nodes exposes them at consecutive ids, e.g.
 // host:port:100 and host:port:101.)
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/stats.h"
 #include "core/sigma_dedupe.h"
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
   config.client.super_chunk_bytes = 64 * 1024;
   config.transport.mode = TransportMode::kLoopback;  // message passing on
   config.transport.pipeline_depth = 4;               // writes in flight
+  std::size_t watch_updates = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -50,6 +53,26 @@ int main(int argc, char** argv) {
       config.transport.mode = TransportMode::kTcp;
       config.transport.rpc_timeout_ms = 10000;
       config.num_nodes = config.transport.tcp_nodes.size();
+    } else if (arg == "--registry" && i + 1 < argc) {
+      // Fleet discovery: lease a client endpoint range from the registry
+      // and take the node map from its fleet view — no hand-written
+      // host:port:endpoint list, no hand-assigned client base.
+      try {
+        config.transport.registry = net::parse_tcp_address(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "transport_cluster: " << e.what() << "\n";
+        return 2;
+      }
+      config.transport.mode = TransportMode::kTcp;
+      config.transport.rpc_timeout_ms = 10000;
+    } else if (arg == "--watch-updates" && i + 1 < argc) {
+      try {
+        watch_updates = net::parse_number(argv[++i], 1024,
+                                          "value for --watch-updates");
+      } catch (const std::exception& e) {
+        std::cerr << "transport_cluster: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--reactors" && i + 1 < argc) {
       try {
         config.transport.tcp_reactors = static_cast<std::uint32_t>(
@@ -69,7 +92,14 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: transport_cluster [--tcp host:port[:endpoint],...]"
-                << " [--reactors R] [--trace-sample N]\n"
+                << " [--registry H:P]\n"
+                << "                         [--watch-updates N] [--reactors R]"
+                << " [--trace-sample N]\n"
+                << "  --registry H:P    lease endpoints + node map from a\n"
+                << "                    fleet registry instead of --tcp\n"
+                << "  --watch-updates N after the backup, wait for N pushed\n"
+                << "                    fleet-view changes (membership test\n"
+                << "                    hook; exits 1 on a 30s timeout)\n"
                 << "  --reactors R      client transport event-loop shards\n"
                 << "                    (0 = min(hardware threads, 4))\n"
                 << "  --trace-sample N  sample one distributed trace per N\n"
@@ -99,10 +129,25 @@ int main(int argc, char** argv) {
   std::vector<ContentFile> tuesday = monday;
   tuesday[1] = make_file("logs.tar", 300000, 'c');  // one file changed
 
+  if (watch_updates > 0 && !config.transport.registry) {
+    std::cerr << "transport_cluster: --watch-updates requires --registry\n";
+    return 2;
+  }
+
   try {
     SigmaDedupe dedupe(config);
+    std::uint64_t seen_version = 0;
+    if (config.transport.registry) {
+      // Early-flushed so a harness can see the wiring before the backup
+      // runs (and before it kills the registry, in the failure-mode leg).
+      const auto view = dedupe.cluster().fleet_view();
+      seen_version = view ? view->version : 0;
+      std::cout << "REGISTRY nodes=" << (view ? view->nodes.size() : 0)
+                << " base=" << dedupe.cluster().client_endpoint_base()
+                << " version=" << seen_version << std::endl;
+    }
     if (config.transport.mode == TransportMode::kTcp) {
-      std::cout << "running over TCP against " << config.num_nodes
+      std::cout << "running over TCP against " << dedupe.cluster().size()
                 << " remote node service(s)\n\n";
     }
     const auto s1 = dedupe.backup("monday", monday);
@@ -134,6 +179,32 @@ int main(int argc, char** argv) {
               << format_bytes(net.bytes_sent) << " ("
               << net.requests << " requests, " << net.responses
               << " responses)\n";
+
+    // Membership-test hook: block until the registry pushes N fleet-view
+    // changes (a daemon joined or left), printing one line per change.
+    if (watch_updates > 0) {
+      std::cout << std::flush;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      std::size_t observed = 0;
+      while (observed < watch_updates) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          std::cerr << "transport_cluster: timed out waiting for "
+                    << watch_updates << " fleet update(s) (saw " << observed
+                    << ")\n";
+          return 1;
+        }
+        const auto view = dedupe.cluster().fleet_view();
+        if (view && view->version > seen_version) {
+          seen_version = view->version;
+          ++observed;
+          std::cout << "FLEET-UPDATE version=" << view->version
+                    << " nodes=" << view->nodes.size() << std::endl;
+          continue;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "transport_cluster: " << e.what() << "\n";

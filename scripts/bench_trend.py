@@ -191,6 +191,14 @@ def main(argv):
                     best = old_value
                     best_sha = old.get("sha", "?")
             if best is None or best <= 0:
+                # A silently-skipped gate looks exactly like a passing one
+                # in CI logs — say out loud that this metric had nothing
+                # comparable to regress against (new bench, new host key,
+                # or a changed scale) and that this run seeds the ledger.
+                print("bench_trend: NOTICE: %s %s has no comparable best "
+                      "(host %s, scale %s) — regression gate skipped, "
+                      "this run seeds the ledger"
+                      % (bench, name, host, scale), file=sys.stderr)
                 continue
             drop_pct = (best - value) / best * 100.0
             if drop_pct > threshold:

@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "ctrl/registry_client.h"
 #include "net/rpc.h"
 #include "net/tcp/tcp_transport.h"
 #include "node/probe_set.h"
@@ -184,6 +186,42 @@ Cluster::Cluster(const ClusterConfig& config)
   if (config_.num_nodes == 0) {
     throw std::invalid_argument("Cluster: need at least one node");
   }
+  if (config_.transport.registry &&
+      config_.transport.mode == TransportMode::kTcp) {
+    // Registry mode: lease this client's endpoint range and take the
+    // node map from the fleet view, instead of trusting hand-wired
+    // values. Must run before anything sized from num_nodes.
+    ctrl::RegistryClientConfig rc;
+    rc.registry = *config_.transport.registry;
+    rc.rpc_timeout_ms = config_.transport.registry_timeout_ms;
+    rc.metrics = config_.metrics;
+    registry_client_ = std::make_unique<ctrl::RegistryClient>(rc);
+    const service::LeaseEndpointsReply lease =
+        registry_client_->lease_endpoints(
+            std::max<std::uint32_t>(1,
+                                    config_.transport.registry_lease_endpoints),
+            [this](const service::FleetView& v) { on_fleet_update(v); });
+    if (lease.view.nodes.empty()) {
+      throw std::runtime_error(
+          "Cluster: registry at " + config_.transport.registry->to_string() +
+          " has no registered node daemons");
+    }
+    config_.transport.tcp_nodes = lease.view.nodes;
+    config_.transport.tcp_client_endpoint_base = lease.endpoint_base;
+    config_.num_nodes = lease.view.nodes.size();
+    {
+      MutexLock lock(view_mu_);
+      if (!has_fleet_view_ || fleet_view_.version < lease.view.version) {
+        fleet_view_ = lease.view;
+      }
+      has_fleet_view_ = true;
+    }
+    SIGMA_LOG_INFO << "cluster: leased client endpoints base "
+                   << lease.endpoint_base << " (+"
+                   << config_.transport.registry_lease_endpoints
+                   << "), fleet view v" << lease.view.version << " with "
+                   << config_.num_nodes << " nodes";
+  }
   if (config_.transport.mode == TransportMode::kTcp) {
     // The nodes live in node_server daemons; only client stubs exist here.
     if (config_.transport.tcp_nodes.size() != config_.num_nodes) {
@@ -202,6 +240,16 @@ Cluster::Cluster(const ClusterConfig& config)
             "Cluster: duplicate endpoint id " +
             std::to_string(node.endpoint) +
             " in tcp_nodes (give each daemon a distinct --first-endpoint)");
+      }
+      // This client's endpoint base landing inside (or below) a daemon
+      // range would alias client ids to node services — refuse at
+      // construction instead of surfacing as runtime route conflicts.
+      if (node.endpoint >= config_.transport.tcp_client_endpoint_base) {
+        throw std::invalid_argument(
+            "Cluster: node endpoint " + std::to_string(node.endpoint) +
+            " overlaps this client's endpoint range (base " +
+            std::to_string(config_.transport.tcp_client_endpoint_base) +
+            ") — daemon service ids must stay below every client base");
       }
     }
   } else {
@@ -475,6 +523,29 @@ void Cluster::flush() {
     return;
   }
   for (auto& n : nodes_) n->flush();
+}
+
+void Cluster::on_fleet_update(const service::FleetView& view) {
+  std::size_t wired = 0;
+  {
+    MutexLock lock(view_mu_);
+    if (fleet_view_.version < view.version) fleet_view_ = view;
+    has_fleet_view_ = true;
+  }
+  wired = config_.transport.tcp_nodes.size();
+  SIGMA_LOG_WARN << "cluster: fleet view v" << view.version << " now has "
+                 << view.nodes.size() << " nodes (wired for " << wired
+                 << ") — this cluster keeps its node map until restarted";
+}
+
+std::optional<service::FleetView> Cluster::fleet_view() const {
+  MutexLock lock(view_mu_);
+  if (!has_fleet_view_) return std::nullopt;
+  return fleet_view_;
+}
+
+bool Cluster::registry_healthy() const {
+  return registry_client_ ? registry_client_->healthy() : true;
 }
 
 net::NetStats Cluster::net_stats() const {

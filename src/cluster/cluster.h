@@ -29,7 +29,12 @@
 #include "node/dedup_node.h"
 #include "obs/metrics.h"
 #include "routing/router.h"
+#include "service/wire_protocol.h"
 #include "workload/dataset.h"
+
+namespace sigma::ctrl {
+class RegistryClient;
+}  // namespace sigma::ctrl
 
 namespace sigma {
 
@@ -82,6 +87,18 @@ struct TransportConfig {
   /// kTcp only: transport event-loop shards (reactors). 0 = auto
   /// (min(hardware_concurrency, 4)); see TcpTransportConfig::reactors.
   std::uint32_t tcp_reactors = 0;
+  /// kTcp only: fetch the node map from a fleet registry and LEASE this
+  /// client's endpoint range from it, instead of wiring tcp_nodes /
+  /// tcp_client_endpoint_base by hand (both are overwritten from the
+  /// lease reply; num_nodes follows the fleet view). The static map stays
+  /// the fallback when unset. If the registry later dies, the cluster
+  /// degrades gracefully: heartbeats log the outage and the fleet keeps
+  /// serving from the view cached here at construction.
+  std::optional<net::TcpAddress> registry;
+  std::uint32_t registry_timeout_ms = 5000;
+  /// Endpoint ids to lease. One covers the cluster's single RpcEndpoint;
+  /// the default leaves slack for future per-stream endpoints.
+  std::uint32_t registry_lease_endpoints = 16;
 };
 
 struct ClusterConfig {
@@ -166,6 +183,30 @@ class Cluster {
   /// Wire-level traffic counters (all zero in direct mode). Distinct from
   /// MessageStats, which counts the paper's fingerprint-lookup metric.
   net::NetStats net_stats() const;
+
+  /// Registry mode only: the latest fleet view (the lease-time view until
+  /// a membership change is pushed). Empty optional under static wiring.
+  /// NOTE: the cluster keeps its wired node map until restarted — a
+  /// pushed change updates this view (and logs) so operators and tests
+  /// see it; dynamic rewiring is future work.
+  std::optional<service::FleetView> fleet_view() const
+      SIGMA_EXCLUDES(view_mu_);
+
+  /// Registry mode only: false while the registry is unreachable (the
+  /// degraded-mode probe). True under static wiring.
+  bool registry_healthy() const;
+
+  /// The registry stub (lease id, update counts); null under static
+  /// wiring.
+  const ctrl::RegistryClient* registry_client() const {
+    return registry_client_.get();
+  }
+
+  /// This client's endpoint base — the leased one in registry mode, the
+  /// wired/default one otherwise.
+  net::EndpointId client_endpoint_base() const {
+    return config_.transport.tcp_client_endpoint_base;
+  }
 
   /// Process one backup generation in trace form (no payloads).
   void backup(const TraceBackup& backup, StreamId stream = 0)
@@ -256,6 +297,18 @@ class Cluster {
 
   std::uint64_t logical_bytes_ SIGMA_GUARDED_BY(route_mu_) = 0;
   MessageStats messages_ SIGMA_GUARDED_BY(route_mu_);
+
+  /// Registry mode: the leased fleet view, replaced by pushed updates
+  /// (delivered on transport threads — hence the dedicated mutex, never
+  /// held across a callback or RPC).
+  void on_fleet_update(const service::FleetView& view)
+      SIGMA_EXCLUDES(view_mu_);
+  mutable Mutex view_mu_{LockRank::kRegistryCtrl};
+  bool has_fleet_view_ SIGMA_GUARDED_BY(view_mu_) = false;
+  service::FleetView fleet_view_ SIGMA_GUARDED_BY(view_mu_);
+  /// Declared last: destroyed first, so pushes and heartbeats stop before
+  /// the members they reference.
+  std::unique_ptr<ctrl::RegistryClient> registry_client_;
 };
 
 }  // namespace sigma

@@ -53,6 +53,10 @@ enum class LockRank : int {
 
   // ---- Service plane (outermost node-side: held across node execution) -
   kNodeSerial = 10,  // NodeService::node_mu_ — serializes DedupNode access
+  // ---- Control plane (fleet registry, src/ctrl/): lease tables and
+  //      cached fleet views. Held across transport sends (ranks 58-60),
+  //      never under data-plane locks.
+  kRegistryCtrl = 12,
   kService = 20,     // NodeService::mu_ — stats + drain arming
 
   // ---- Primitives the service plane arms under its own lock -----------

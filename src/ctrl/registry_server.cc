@@ -1,0 +1,410 @@
+#include "ctrl/registry_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics_wire.h"
+
+namespace sigma::ctrl {
+namespace {
+
+std::string range_string(net::EndpointId base, std::uint32_t count) {
+  return "[" + std::to_string(base) + ".." +
+         std::to_string(static_cast<std::uint64_t>(base) + count - 1) + "]";
+}
+
+bool ranges_overlap(net::EndpointId a, std::uint32_t an, net::EndpointId b,
+                    std::uint32_t bn) {
+  const std::uint64_t a0 = a, a1 = a0 + an;
+  const std::uint64_t b0 = b, b1 = b0 + bn;
+  return a0 < b1 && b0 < a1;
+}
+
+}  // namespace
+
+RegistryServer::RegistryServer(const RegistryServerConfig& config)
+    : config_(config) {
+  m_registrations_ = &registry_.counter("registry.registrations");
+  m_register_refusals_ = &registry_.counter("registry.register_refusals");
+  m_leases_ = &registry_.counter("registry.client_leases");
+  m_heartbeats_ = &registry_.counter("registry.heartbeats");
+  m_unknown_leases_ = &registry_.counter("registry.unknown_leases");
+  m_lease_expiries_ = &registry_.counter("registry.lease_expiries");
+  m_leaves_ = &registry_.counter("registry.leaves");
+  m_view_pushes_ = &registry_.counter("registry.view_pushes");
+  m_nodes_ = &registry_.gauge("registry.nodes");
+  m_clients_ = &registry_.gauge("registry.clients");
+
+  net::TcpTransportConfig tcp;
+  tcp.listen = config_.listen;
+  tcp.endpoint_base = net::kRegistryEndpoint;
+  tcp.reactors = config_.reactors;
+  tcp.max_body_bytes = config_.max_body_bytes;
+  tcp.metrics = &registry_;
+  transport_ = std::make_unique<net::TcpTransport>(std::move(tcp));
+  endpoint_ = transport_->register_endpoint(
+      [this](net::Message&& m) { inbox_.push(std::move(m)); });
+  worker_ = std::thread([this] { serve(); });
+}
+
+RegistryServer::~RegistryServer() {
+  // Stop deliveries first (blocks until in-flight handler calls return),
+  // so nothing touches the inbox once the worker is gone.
+  transport_->unregister_endpoint(endpoint_);
+  inbox_.close();
+  worker_.join();
+}
+
+service::FleetView RegistryServer::fleet_view() const {
+  MutexLock lock(mu_);
+  return view_;
+}
+
+std::size_t RegistryServer::node_lease_count() const {
+  MutexLock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, lease] : leases_) n += lease.is_node ? 1 : 0;
+  return n;
+}
+
+std::size_t RegistryServer::client_lease_count() const {
+  MutexLock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, lease] : leases_) n += lease.is_node ? 0 : 1;
+  return n;
+}
+
+std::uint64_t RegistryServer::push_acks() const {
+  MutexLock lock(mu_);
+  return push_acks_;
+}
+
+obs::MetricsSnapshot RegistryServer::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = registry_.snapshot();
+  const net::NetStats net = transport_->stats();
+  snap.add_counter("net.messages_sent", net.messages_sent);
+  snap.add_counter("net.bytes_sent", net.bytes_sent);
+  snap.add_counter("net.requests", net.requests);
+  snap.add_counter("net.responses", net.responses);
+  snap.add_counter("net.errors", net.errors);
+  const net::TcpTransportStats tcp = transport_->tcp_stats();
+  snap.add_counter("tcp.connections_accepted", tcp.connections_accepted);
+  snap.add_counter("tcp.frames_received", tcp.frames_received);
+  snap.add_counter("tcp.route_conflicts", tcp.route_conflicts);
+  snap.add_counter("tcp.route_takeovers", tcp.route_takeovers);
+  snap.add_counter("tcp.route_expired", tcp.route_expired);
+  return snap;
+}
+
+void RegistryServer::serve() {
+  for (;;) {
+    std::optional<net::Message> m = inbox_.pop_until(next_expiry());
+    if (!m) {
+      if (inbox_.closed()) return;
+      expire_due();
+      continue;
+    }
+    if (m->kind != net::MessageKind::kRequest) {
+      // Response (or error) to a fleet push — count the acknowledgement;
+      // an error here means the subscriber is gone, which its lease
+      // expiry will surface soon enough.
+      if (m->type == net::MessageType::kFleetUpdate &&
+          m->kind == net::MessageKind::kResponse) {
+        MutexLock lock(mu_);
+        ++push_acks_;
+      }
+    } else {
+      handle(*m);
+    }
+    expire_due();
+  }
+}
+
+std::chrono::steady_clock::time_point RegistryServer::next_expiry() const {
+  MutexLock lock(mu_);
+  auto next = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(config_.lease_ttl_ms);
+  for (const auto& [id, lease] : leases_) {
+    next = std::min(next, lease.expires_at);
+  }
+  return next;
+}
+
+void RegistryServer::handle(const net::Message& request) {
+  using net::Message;
+  using net::MessageType;
+  bool membership_changed = false;
+  Message reply;
+  try {
+    switch (request.type) {
+      case MessageType::kRegisterNode: {
+        MutexLock lock(mu_);
+        const std::uint64_t version_before = view_.version;
+        Buffer body = handle_register_node(request);
+        membership_changed = view_.version != version_before;
+        reply = Message::response_to(request, std::move(body));
+        break;
+      }
+      case MessageType::kLeaseEndpoints: {
+        MutexLock lock(mu_);
+        reply = Message::response_to(request, handle_lease_endpoints(request));
+        break;
+      }
+      case MessageType::kRegistryHeartbeat: {
+        const std::uint64_t id = service::decode_u64(
+            ByteView{request.body.data(), request.body.size()});
+        MutexLock lock(mu_);
+        auto it = leases_.find(id);
+        if (it == leases_.end()) {
+          m_unknown_leases_->inc();
+          throw std::runtime_error(
+              "registry: unknown lease " + std::to_string(id) +
+              " (expired, or the registry restarted) — re-register");
+        }
+        it->second.expires_at =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.lease_ttl_ms);
+        m_heartbeats_->inc();
+        reply = Message::response_to(request, Buffer{});
+        break;
+      }
+      case MessageType::kRegistryLeave: {
+        const std::uint64_t id = service::decode_u64(
+            ByteView{request.body.data(), request.body.size()});
+        MutexLock lock(mu_);
+        auto it = leases_.find(id);
+        if (it != leases_.end()) {
+          const bool was_node = it->second.is_node;
+          leases_.erase(it);
+          m_leaves_->inc();
+          if (was_node) {
+            rebuild_view();
+            membership_changed = true;
+          } else {
+            m_clients_->sub(1);
+          }
+        }
+        // Leaving twice (or after expiry) is not an error: the desired
+        // state — no lease — already holds.
+        reply = Message::response_to(request, Buffer{});
+        break;
+      }
+      case MessageType::kFleetFetch: {
+        MutexLock lock(mu_);
+        reply = Message::response_to(request, service::encode_fleet_view(view_));
+        break;
+      }
+      case MessageType::kStatsSnapshot: {
+        reply = Message::response_to(
+            request, obs::encode_metrics_snapshot(metrics_snapshot()));
+        break;
+      }
+      default:
+        throw std::runtime_error(
+            "registry: unsupported operation " +
+            std::string(net::to_string(request.type)) +
+            " (this endpoint only serves control-plane ops)");
+    }
+  } catch (const std::exception& e) {
+    transport_->send(Message::error_to(request, e.what()));
+    return;
+  }
+  transport_->send(std::move(reply));
+  if (membership_changed) push_view();
+}
+
+Buffer RegistryServer::handle_register_node(const net::Message& request) {
+  const auto req = service::decode_register_node_request(
+      ByteView{request.body.data(), request.body.size()});
+  if (req.num_endpoints == 0) {
+    m_register_refusals_->inc();
+    throw std::runtime_error("registry: daemon registered an empty range");
+  }
+  if (req.first_endpoint <= net::kRegistryEndpoint) {
+    m_register_refusals_->inc();
+    throw std::runtime_error(
+        "registry: daemon range " +
+        range_string(req.first_endpoint, req.num_endpoints) +
+        " overlaps the registry's own endpoint id " +
+        std::to_string(net::kRegistryEndpoint));
+  }
+  if (static_cast<std::uint64_t>(req.first_endpoint) + req.num_endpoints >
+      net::kClientEndpointBase) {
+    m_register_refusals_->inc();
+    throw std::runtime_error(
+        "registry: daemon range " +
+        range_string(req.first_endpoint, req.num_endpoints) +
+        " reaches the client endpoint range (base " +
+        std::to_string(net::kClientEndpointBase) + ")");
+  }
+  const net::TcpAddress address{req.host, req.port};
+  bool replaced = false;
+  for (auto it = leases_.begin(); it != leases_.end(); ++it) {
+    const Lease& held = it->second;
+    if (!held.is_node) continue;
+    if (held.address == address && held.base == req.first_endpoint &&
+        held.count == req.num_endpoints) {
+      // The same daemon re-registering (restart, or a heartbeat that hit
+      // a restarted registry): replace its lease. The view's content is
+      // unchanged, so subscribers are not disturbed.
+      leases_.erase(it);
+      replaced = true;
+      break;
+    }
+    if (ranges_overlap(held.base, held.count, req.first_endpoint,
+                       req.num_endpoints)) {
+      m_register_refusals_->inc();
+      throw std::runtime_error(
+          "registry: endpoint range " +
+          range_string(req.first_endpoint, req.num_endpoints) +
+          " overlaps " + range_string(held.base, held.count) +
+          " held by daemon " + held.address.to_string());
+    }
+  }
+
+  Lease lease;
+  lease.id = next_lease_id_++;
+  lease.is_node = true;
+  lease.address = address;
+  lease.base = req.first_endpoint;
+  lease.count = req.num_endpoints;
+  lease.expires_at = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(config_.lease_ttl_ms);
+  leases_.emplace(lease.id, lease);
+  m_registrations_->inc();
+  if (!replaced) {
+    rebuild_view();
+    SIGMA_LOG_INFO << "registry: daemon " << address.to_string()
+                   << " registered endpoints "
+                   << range_string(lease.base, lease.count) << " (view v"
+                   << view_.version << ", " << view_.nodes.size()
+                   << " nodes)";
+  }
+  return service::encode_lease_grant({lease.id, config_.lease_ttl_ms});
+}
+
+Buffer RegistryServer::handle_lease_endpoints(const net::Message& request) {
+  const auto req = service::decode_lease_endpoints_request(
+      ByteView{request.body.data(), request.body.size()});
+  if (req.num_endpoints == 0 || req.num_endpoints > 65536) {
+    throw std::runtime_error(
+        "registry: client endpoint lease must cover 1..65536 ids, asked "
+        "for " +
+        std::to_string(req.num_endpoints));
+  }
+
+  // First-fit from kClientEndpointBase: freed ranges are reused, and the
+  // band below kRegistryBootstrapBase bounds the space. Client ranges can
+  // never meet daemon ranges — registration refuses anything reaching
+  // kClientEndpointBase.
+  std::vector<std::pair<net::EndpointId, std::uint32_t>> held;
+  for (const auto& [id, lease] : leases_) {
+    if (!lease.is_node) held.emplace_back(lease.base, lease.count);
+  }
+  std::sort(held.begin(), held.end());
+  std::uint64_t base = net::kClientEndpointBase;
+  for (const auto& [b, n] : held) {
+    if (base + req.num_endpoints <= b) break;
+    base = std::max(base, static_cast<std::uint64_t>(b) + n);
+  }
+  if (base + req.num_endpoints > net::kRegistryBootstrapBase) {
+    throw std::runtime_error("registry: client endpoint space exhausted");
+  }
+
+  Lease lease;
+  lease.id = next_lease_id_++;
+  lease.is_node = false;
+  lease.base = static_cast<net::EndpointId>(base);
+  lease.count = req.num_endpoints;
+  lease.expires_at = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(config_.lease_ttl_ms);
+  lease.subscriber = req.subscribe ? request.src : 0;
+  leases_.emplace(lease.id, lease);
+  m_leases_->inc();
+  m_clients_->add(1);
+  SIGMA_LOG_INFO << "registry: client leased endpoints "
+                 << range_string(lease.base, lease.count)
+                 << (lease.subscriber ? " (subscribed)" : "");
+
+  service::LeaseEndpointsReply reply;
+  reply.grant = {lease.id, config_.lease_ttl_ms};
+  reply.endpoint_base = lease.base;
+  reply.view = view_;
+  return service::encode_lease_endpoints_reply(reply);
+}
+
+void RegistryServer::expire_due() {
+  bool membership_changed = false;
+  {
+    MutexLock lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      if (it->second.expires_at <= now) {
+        m_lease_expiries_->inc();
+        SIGMA_LOG_WARN << "registry: lease " << it->second.id << " ("
+                       << (it->second.is_node
+                               ? "daemon " + it->second.address.to_string()
+                               : "client")
+                       << ", endpoints "
+                       << range_string(it->second.base, it->second.count)
+                       << ") expired without a heartbeat";
+        if (it->second.is_node) {
+          membership_changed = true;
+        } else {
+          m_clients_->sub(1);
+        }
+        it = leases_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (membership_changed) rebuild_view();
+  }
+  if (membership_changed) push_view();
+}
+
+void RegistryServer::rebuild_view() {
+  view_.nodes.clear();
+  std::int64_t node_leases = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (!lease.is_node) continue;
+    ++node_leases;
+    for (std::uint32_t i = 0; i < lease.count; ++i) {
+      view_.nodes.push_back({lease.address, lease.base + i});
+    }
+  }
+  std::sort(view_.nodes.begin(), view_.nodes.end(),
+            [](const net::TcpNodeAddress& a, const net::TcpNodeAddress& b) {
+              return a.endpoint < b.endpoint;
+            });
+  ++view_.version;
+  m_nodes_->set(node_leases);
+}
+
+void RegistryServer::push_view() {
+  std::vector<net::Message> pushes;
+  {
+    MutexLock lock(mu_);
+    const Buffer body = service::encode_fleet_view(view_);
+    for (const auto& [id, lease] : leases_) {
+      if (lease.is_node || lease.subscriber == 0) continue;
+      net::Message m;
+      m.type = net::MessageType::kFleetUpdate;
+      m.kind = net::MessageKind::kRequest;
+      m.correlation_id = next_push_correlation_++;
+      m.src = endpoint_;
+      m.dst = lease.subscriber;
+      m.body = body;
+      pushes.push_back(std::move(m));
+    }
+  }
+  for (auto& m : pushes) {
+    m_view_pushes_->inc();
+    transport_->send(std::move(m));
+  }
+}
+
+}  // namespace sigma::ctrl

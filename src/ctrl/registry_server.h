@@ -1,0 +1,152 @@
+// Fleet registry: the control-plane daemon that kills the id-collision
+// bug class at the root. Instead of wiring the fleet by hand — a static
+// node-map string per Cluster, client endpoint bases guessed and merely
+// refused on collision at runtime — daemons REGISTER their endpoint range
+// here and clients LEASE one:
+//
+//   node_server --registry H:P   ->  kRegisterNode {host, port, range}
+//                                    (overlapping ranges refused up front)
+//   Cluster    {--registry H:P}  ->  kLeaseEndpoints {count, subscribe}
+//                                    -> granted base + the fleet view
+//   both                         ->  kRegistryHeartbeat every ttl/3
+//                                    (a lapsed lease expires: the range is
+//                                    freed and the fleet view drops it)
+//
+// Membership changes — a daemon joining, a lease expiring, a clean
+// kRegistryLeave — bump the view version and are PUSHED (kFleetUpdate) to
+// every subscribed client over the learned return route its lease request
+// established. Heartbeats keep that route fresh (the default TTL's
+// heartbeat cadence is far below the transport's route_stale_ms).
+//
+// The registry speaks the existing framed wire protocol on the well-known
+// endpoint kRegistryEndpoint, so the protocol-version handshake, metrics
+// scrape (kStatsSnapshot answers with registry.* instruments) and all
+// transport hardening apply unchanged. State is deliberately in-memory
+// only: a restarted registry repopulates from daemon re-registration
+// (heartbeat "unknown lease" -> re-register), and a *dead* registry
+// degrades the fleet gracefully — leases stop being enforced, clients keep
+// serving from their cached view and log the degradation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "net/channel.h"
+#include "net/message.h"
+#include "net/tcp/tcp_transport.h"
+#include "obs/metrics.h"
+#include "service/wire_protocol.h"
+
+namespace sigma::ctrl {
+
+struct RegistryServerConfig {
+  net::TcpAddress listen{"127.0.0.1", 0};
+
+  /// Lease TTL granted to every registrant. Holders heartbeat at ttl/3;
+  /// a lease with no heartbeat for a full TTL expires. Keep well below
+  /// the transport's route_stale_ms, or the push route to an idle
+  /// subscriber would be swept before its next heartbeat refreshes it.
+  std::uint32_t lease_ttl_ms = 5000;
+
+  /// Event-loop shards for the registry's transport (0 = auto).
+  std::uint32_t reactors = 1;
+
+  std::size_t max_body_bytes = 4u << 20;
+};
+
+class RegistryServer {
+ public:
+  /// Binds the listener and starts serving. Throws SocketError if the
+  /// listen address cannot be bound.
+  explicit RegistryServer(const RegistryServerConfig& config);
+
+  /// Stops the worker and the transport. Leases are not persisted — a
+  /// restart starts empty and daemons re-register via their heartbeat's
+  /// "unknown lease" error.
+  ~RegistryServer();
+
+  RegistryServer(const RegistryServer&) = delete;
+  RegistryServer& operator=(const RegistryServer&) = delete;
+
+  /// Actual listening port (resolves port 0).
+  std::uint16_t port() const { return transport_->listen_port(); }
+
+  /// The current fleet view (tests and CLIs; peers use kFleetFetch).
+  service::FleetView fleet_view() const SIGMA_EXCLUDES(mu_);
+
+  std::size_t node_lease_count() const SIGMA_EXCLUDES(mu_);
+  std::size_t client_lease_count() const SIGMA_EXCLUDES(mu_);
+
+  /// Fleet-view pushes acknowledged by subscribers (test ordering hook).
+  std::uint64_t push_acks() const SIGMA_EXCLUDES(mu_);
+
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+ private:
+  struct Lease {
+    std::uint64_t id = 0;
+    bool is_node = false;
+    /// Node leases: the daemon's advertised dial address.
+    net::TcpAddress address;
+    net::EndpointId base = 0;
+    std::uint32_t count = 0;
+    std::chrono::steady_clock::time_point expires_at;
+    /// Client leases: the endpoint to push kFleetUpdate to (0 = none).
+    net::EndpointId subscriber = 0;
+  };
+
+  void serve();
+  void handle(const net::Message& request) SIGMA_EXCLUDES(mu_);
+  Buffer handle_register_node(const net::Message& request)
+      SIGMA_REQUIRES(mu_);
+  Buffer handle_lease_endpoints(const net::Message& request)
+      SIGMA_REQUIRES(mu_);
+
+  /// Drop leases past their TTL; pushes an updated view if a node left.
+  void expire_due() SIGMA_EXCLUDES(mu_);
+
+  /// Rebuild the view from the node leases and bump its version.
+  void rebuild_view() SIGMA_REQUIRES(mu_);
+
+  /// Push the current view to every subscribed client lease.
+  void push_view() SIGMA_EXCLUDES(mu_);
+
+  std::chrono::steady_clock::time_point next_expiry() const
+      SIGMA_EXCLUDES(mu_);
+
+  RegistryServerConfig config_;
+  obs::Registry registry_;
+  obs::Counter* m_registrations_;
+  obs::Counter* m_register_refusals_;
+  obs::Counter* m_leases_;
+  obs::Counter* m_heartbeats_;
+  obs::Counter* m_unknown_leases_;
+  obs::Counter* m_lease_expiries_;
+  obs::Counter* m_leaves_;
+  obs::Counter* m_view_pushes_;
+  obs::Gauge* m_nodes_;
+  obs::Gauge* m_clients_;
+
+  std::unique_ptr<net::TcpTransport> transport_;
+  net::EndpointId endpoint_ = 0;
+
+  /// Transport delivery threads push everything here; ONE worker thread
+  /// drains, so the lease table sees strictly serialized mutations and
+  /// expiry runs between messages (pop_until the next lease deadline).
+  net::Channel<net::Message> inbox_;
+
+  mutable Mutex mu_{LockRank::kRegistryCtrl};
+  std::map<std::uint64_t, Lease> leases_ SIGMA_GUARDED_BY(mu_);
+  std::uint64_t next_lease_id_ SIGMA_GUARDED_BY(mu_) = 1;
+  service::FleetView view_ SIGMA_GUARDED_BY(mu_);
+  std::uint64_t next_push_correlation_ SIGMA_GUARDED_BY(mu_) = 1;
+  std::uint64_t push_acks_ SIGMA_GUARDED_BY(mu_) = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace sigma::ctrl

@@ -4,6 +4,7 @@
 // push completion order.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <optional>
 
@@ -33,6 +34,26 @@ class Channel {
     MutexLock lock(mu_);
     while (!closed_ && items_.empty()) cv_.wait(mu_);
     if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocking pop with a deadline. Empty optional means either the
+  /// deadline passed with nothing queued, or the channel is closed and
+  /// drained — callers that need to tell the two apart check closed().
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline)
+      SIGMA_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    for (;;) {
+      if (!items_.empty()) break;
+      if (closed_) return std::nullopt;
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+        // Re-check: a push may have raced the timeout.
+        if (items_.empty()) return std::nullopt;
+        break;
+      }
+    }
     T item = std::move(items_.front());
     items_.pop_front();
     return item;

@@ -24,6 +24,18 @@ const char* to_string(MessageType type) {
       return "StatsSnapshot";
     case MessageType::kTraceDump:
       return "TraceDump";
+    case MessageType::kRegisterNode:
+      return "RegisterNode";
+    case MessageType::kLeaseEndpoints:
+      return "LeaseEndpoints";
+    case MessageType::kRegistryHeartbeat:
+      return "RegistryHeartbeat";
+    case MessageType::kRegistryLeave:
+      return "RegistryLeave";
+    case MessageType::kFleetFetch:
+      return "FleetFetch";
+    case MessageType::kFleetUpdate:
+      return "FleetUpdate";
   }
   return "?";
 }

@@ -34,13 +34,25 @@ enum class MessageType : std::uint8_t {
                       // daemon-wide metrics scrape fleet_stats drains)
   kTraceDump,         // () -> serialized obs::SpanDump (the flight-
                       // recorder scrape fleet_trace merges)
+
+  // Control plane (fleet registry, src/ctrl/). Clients and daemons speak
+  // these to a registry_server; a node service answers them with an error.
+  kRegisterNode,       // host + port + endpoint range -> lease id + TTL
+                       // (daemon announces its service endpoints)
+  kLeaseEndpoints,     // endpoint count + subscribe flag -> lease id +
+                       // TTL + leased base + current fleet view
+  kRegistryHeartbeat,  // lease id -> () : extend the lease
+  kRegistryLeave,      // lease id -> () : clean leave, frees the range
+  kFleetFetch,         // () -> fleet view (one-shot, no lease)
+  kFleetUpdate,        // fleet view -> () : pushed registry->client on
+                       // membership change (the one server-initiated op)
 };
 
 /// Highest valid op byte — the TCP frame decoder rejects anything above
 /// it as a protocol error. Keep in sync when appending operations, or
 /// remote peers will drop the new op's frames.
 inline constexpr std::uint8_t kMaxMessageType =
-    static_cast<std::uint8_t>(MessageType::kTraceDump);
+    static_cast<std::uint8_t>(MessageType::kFleetUpdate);
 
 const char* to_string(MessageType type);
 

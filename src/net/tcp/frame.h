@@ -36,8 +36,9 @@ inline constexpr std::uint32_t kFrameMagic = 0x314D4753;
 /// mixed-version peers fail fast at the handshake instead of dying on
 /// the first unknown frame. v2: fused kRoutingProbe op. v3: kStatsSnapshot
 /// metrics scrape. v4: header flags byte + optional trace block,
-/// kTraceDump flight-recorder scrape.
-inline constexpr std::uint8_t kProtocolVersion = 4;
+/// kTraceDump flight-recorder scrape. v5: fleet registry / control-plane
+/// ops (kRegisterNode..kFleetUpdate).
+inline constexpr std::uint8_t kProtocolVersion = 5;
 
 /// Peer roles exchanged in the HELLO (informational, for diagnostics).
 enum class PeerRole : std::uint8_t { kClient = 0, kServer = 1 };

@@ -403,6 +403,9 @@ void Reactor::loop_poll() {
     }
     for (const auto& conn : to_dial) loop_dial(conn);
 
+    // Outside mu_: the route directory ranks below the shard mutex.
+    host_.sweep_stale_routes();
+
     pfds.clear();
     polled.clear();
     pfds.push_back({wake_read_.get(), POLLIN, 0});
@@ -494,6 +497,9 @@ void Reactor::loop_epoll() {
       close_conn(conn, "write stalled past backpressure timeout");
     }
     for (const auto& conn : to_dial) loop_dial(conn);
+
+    // Outside mu_: the route directory ranks below the shard mutex.
+    host_.sweep_stale_routes();
 
     // Reconcile every connection's registration with its current
     // interest. New fds only enter the epoll set here — never while an

@@ -185,6 +185,13 @@ class ReactorHost {
   /// Drop every learned route pointing at `conn` (connection closed).
   virtual void forget_routes(const ConnPtr& conn) = 0;
 
+  /// Reclaim learned routes whose owning connection has been silent past
+  /// the stale window (a departed peer whose drop this side never
+  /// observed, and no collider ever dialed in to take the route over).
+  /// Every reactor calls this once per loop iteration, with no shard
+  /// mutex held; the host throttles the actual scan internally.
+  virtual void sweep_stale_routes() = 0;
+
   /// Take ownership of a freshly accept()ed socket: pick the owning
   /// reactor by peer hash and hand the connection to it.
   virtual void adopt_accepted(SocketFd fd) = 0;

@@ -19,14 +19,27 @@ class SocketError : public std::runtime_error {
   explicit SocketError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Well-known endpoint id of a fleet registry (control plane, src/ctrl/).
+/// Below kServiceEndpointBase so no daemon node range can shadow it.
+inline constexpr EndpointId kRegistryEndpoint = 1;
+
 /// First endpoint id a node daemon registers its services under (node i
 /// of a daemon lives at first_endpoint + i; defaults to this base).
 inline constexpr EndpointId kServiceEndpointBase = 100;
 
 /// Default endpoint base for client transports. Far above any service id
 /// so client and service address ranges never collide. Processes sharing
-/// one daemon should use distinct bases.
+/// one daemon should use distinct bases — or, better, lease a range from
+/// a registry_server (--registry) instead of hand-assigning one. The
+/// registry allocates client leases from this base upward.
 inline constexpr EndpointId kClientEndpointBase = 0x40000000;
+
+/// Bootstrap band for registry *clients*: the private transport a
+/// RegistryClient dials the registry with picks a random endpoint id at
+/// or above this base, so concurrent clients talking to one registry
+/// never collide in its learned routes before they hold a lease. The
+/// registry never allocates leases here (client leases stop below it).
+inline constexpr EndpointId kRegistryBootstrapBase = 0x80000000;
 
 /// A TCP endpoint address. Port 0 means "pick an ephemeral port" when
 /// listening (read the bound port back with TcpTransport::listen_port()).

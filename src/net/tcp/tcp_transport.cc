@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -204,6 +205,34 @@ void TcpTransport::forget_routes(const ConnPtr& conn) {
   }
 }
 
+void TcpTransport::sweep_stale_routes() {
+  const std::int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  MutexLock lock(route_mu_);
+  if (now_us < next_route_sweep_us_) return;
+  // Scan at a quarter of the stale window: reclamation lags an idle
+  // departure by at most ~1.25x route_stale_ms without taking route_mu_
+  // on every reactor iteration. (Expiring a route is cheap to get wrong
+  // in the safe direction — a live peer's next frame just re-learns it.)
+  next_route_sweep_us_ =
+      now_us +
+      std::max<std::int64_t>(
+          static_cast<std::int64_t>(config_.route_stale_ms) * 1000 / 4, 1000);
+  const std::int64_t cutoff_us =
+      now_us - static_cast<std::int64_t>(config_.route_stale_ms) * 1000;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second->last_frame_us.load(std::memory_order_relaxed) <=
+        cutoff_us) {
+      ++route_expired_;
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void TcpTransport::adopt_accepted(SocketFd fd) {
   try {
     set_nonblocking(fd.get());
@@ -396,6 +425,7 @@ TcpTransportStats TcpTransport::tcp_stats() const {
     MutexLock lock(route_mu_);
     total.route_conflicts = route_conflicts_;
     total.route_takeovers = route_takeovers_;
+    total.route_expired = route_expired_;
   }
   for (const auto& r : reactors_) r->add_tcp_stats(total);
   return total;

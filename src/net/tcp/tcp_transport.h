@@ -160,6 +160,11 @@ struct TcpTransportStats {
   /// Stale learned routes re-pointed to a new connection (peer re-dialed
   /// after a connection drop this side never observed).
   std::uint64_t route_takeovers = 0;
+  /// Learned routes reclaimed by the periodic sweep: the owning
+  /// connection sat silent past route_stale_ms and no collider ever
+  /// dialed in to take the route over (a departed client). Without the
+  /// sweep these would linger forever and count against lease reuse.
+  std::uint64_t route_expired = 0;
 };
 
 class TcpTransport final : public Transport, private ReactorHost {
@@ -195,6 +200,7 @@ class TcpTransport final : public Transport, private ReactorHost {
   void bounce_request(const Message& header, const std::string& text) override;
   RouteClaim learn_route(EndpointId src, const ConnPtr& conn) override;
   void forget_routes(const ConnPtr& conn) override;
+  void sweep_stale_routes() override;
   void adopt_accepted(SocketFd fd) override;
 
   /// The shard owning connections to `host:port` (stable FNV-1a hash —
@@ -227,6 +233,10 @@ class TcpTransport final : public Transport, private ReactorHost {
       SIGMA_GUARDED_BY(route_mu_);
   std::uint64_t route_conflicts_ SIGMA_GUARDED_BY(route_mu_) = 0;
   std::uint64_t route_takeovers_ SIGMA_GUARDED_BY(route_mu_) = 0;
+  std::uint64_t route_expired_ SIGMA_GUARDED_BY(route_mu_) = 0;
+  /// Next time sweep_stale_routes() actually scans (it is called every
+  /// reactor iteration; the scan runs at a quarter of the stale window).
+  std::int64_t next_route_sweep_us_ SIGMA_GUARDED_BY(route_mu_) = 0;
 
   /// Cached instruments (null without config_.metrics), shared by every
   /// reactor. RPC latency is measured send() -> response dispatch, per

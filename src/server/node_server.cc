@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/logging.h"
 #include "obs/trace.h"
 #include "storage/manifest.h"
 
@@ -40,6 +41,31 @@ std::unique_ptr<StorageBackend> open_file_backend(
 NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
   if (config_.num_nodes == 0) {
     throw std::invalid_argument("NodeServer: need at least one node");
+  }
+  // Refuse a bad endpoint range at construction instead of surfacing it
+  // later as runtime route_conflicts: the daemon's service ids must stay
+  // clear of the registry's well-known endpoint below and of the client
+  // band above.
+  if (config_.first_endpoint <= net::kRegistryEndpoint) {
+    throw std::invalid_argument(
+        "NodeServer: first endpoint " +
+        std::to_string(config_.first_endpoint) +
+        " collides with the registry endpoint id " +
+        std::to_string(net::kRegistryEndpoint) +
+        " — use a base of at least " +
+        std::to_string(net::kServiceEndpointBase));
+  }
+  if (config_.first_endpoint >= net::kClientEndpointBase ||
+      static_cast<std::uint64_t>(config_.first_endpoint) + config_.num_nodes >
+          net::kClientEndpointBase) {
+    throw std::invalid_argument(
+        "NodeServer: endpoint range [" +
+        std::to_string(config_.first_endpoint) + ".." +
+        std::to_string(static_cast<std::uint64_t>(config_.first_endpoint) +
+                       config_.num_nodes - 1) +
+        "] reaches the client endpoint range (base " +
+        std::to_string(net::kClientEndpointBase) +
+        ") — lower --first-endpoint or --nodes");
   }
 
   // Recover node state BEFORE any socket exists: until every index is
@@ -97,6 +123,30 @@ NodeServer::NodeServer(const NodeServerConfig& config) : config_(config) {
   for (auto& service : services_) {
     service->set_snapshot_provider([this] { return metrics_snapshot(); });
   }
+
+  // Register with the fleet registry LAST: the daemon is fully servable
+  // (recovered, listening, services bound) the moment it appears in the
+  // fleet view. A range overlap is refused here and fails construction.
+  if (config_.registry) {
+    ctrl::RegistryClientConfig rc;
+    rc.registry = *config_.registry;
+    rc.rpc_timeout_ms = config_.registry_timeout_ms;
+    rc.heartbeat_interval_ms = config_.registry_heartbeat_ms;
+    rc.metrics = &registry_;
+    registry_client_ = std::make_unique<ctrl::RegistryClient>(rc);
+    registry_client_->register_node(
+        {config_.listen.host, config_.listen.port}, config_.first_endpoint,
+        static_cast<std::uint32_t>(config_.num_nodes));
+  }
+}
+
+void NodeServer::leave_registry() noexcept {
+  if (!registry_client_) return;
+  try {
+    registry_client_->leave();
+  } catch (const std::exception& e) {
+    SIGMA_LOG_WARN << "node_server: registry leave failed: " << e.what();
+  }
 }
 
 obs::MetricsSnapshot NodeServer::metrics_snapshot() const {
@@ -123,6 +173,7 @@ obs::MetricsSnapshot NodeServer::metrics_snapshot() const {
   snap.add_counter("tcp.wakeups", tcp.wakeups);
   snap.add_counter("tcp.route_conflicts", tcp.route_conflicts);
   snap.add_counter("tcp.route_takeovers", tcp.route_takeovers);
+  snap.add_counter("tcp.route_expired", tcp.route_expired);
 
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const std::string node = "node" + std::to_string(i);
@@ -176,6 +227,9 @@ obs::MetricsSnapshot NodeServer::metrics_snapshot() const {
 }
 
 void NodeServer::flush() {
+  // Leave the fleet before going dark, so subscribed clients see the
+  // membership change instead of discovering dead endpoints.
+  leave_registry();
   // Retire (unbind + drain-wait) EVERY service before destroying ANY:
   // the last in-flight request on one service may be a stats scrape
   // whose snapshot provider walks all of them. Once the loop finishes no
@@ -187,8 +241,9 @@ void NodeServer::flush() {
 }
 
 NodeServer::~NodeServer() {
-  // Same two-phase teardown as flush(): quiesce all services, then let
-  // the members destroy in reverse declaration order.
+  // Same two-phase teardown as flush(): leave the fleet, quiesce all
+  // services, then let the members destroy in reverse declaration order.
+  leave_registry();
   for (auto& service : services_) service->retire();
 }
 

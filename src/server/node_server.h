@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "ctrl/registry_client.h"
 #include "net/tcp/tcp_transport.h"
 #include "node/dedup_node.h"
 #include "obs/metrics.h"
@@ -54,6 +56,16 @@ struct NodeServerConfig {
   /// File backend: fsync blobs and the directory on every put, so a
   /// sealed container survives power loss, not just a killed process.
   bool fsync = true;
+
+  /// Fleet registry to register this daemon's endpoint range with
+  /// (`--registry host:port`). Registration happens at the end of
+  /// construction — after recovery and the listen bind, so the daemon is
+  /// servable the moment it appears in the fleet view — and an overlap
+  /// refusal fails construction. Unset = static wiring, no registration.
+  std::optional<net::TcpAddress> registry;
+  std::uint32_t registry_timeout_ms = 5000;
+  /// Heartbeat cadence override; 0 = a third of the granted TTL.
+  std::uint32_t registry_heartbeat_ms = 0;
 };
 
 class NodeServer {
@@ -113,7 +125,18 @@ class NodeServer {
   /// a kStatsSnapshot request — and SIGUSR1 / shutdown dumps — report.
   obs::MetricsSnapshot metrics_snapshot() const;
 
+  /// The registry stub when config.registry is set (lease id, health);
+  /// null under static wiring.
+  const ctrl::RegistryClient* registry_client() const {
+    return registry_client_.get();
+  }
+
  private:
+  /// Best-effort clean leave (flush() and the destructor both run it;
+  /// idempotent). A dead registry downgrades this to a warning — the
+  /// lease then expires on its own.
+  void leave_registry() noexcept;
+
   NodeServerConfig config_;
   std::vector<RecoveryReport> recoveries_;
   /// Declared before everything that records into it: instruments must
@@ -125,6 +148,9 @@ class NodeServer {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<DedupNode>> nodes_;
   std::vector<std::unique_ptr<service::NodeService>> services_;
+  /// Declared last: destroyed first, so the daemon leaves the fleet
+  /// before it stops serving.
+  std::unique_ptr<ctrl::RegistryClient> registry_client_;
 };
 
 }  // namespace sigma::server

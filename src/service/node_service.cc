@@ -65,6 +65,15 @@ bool NodeService::is_fast_lane(MessageType type) {
     case MessageType::kWriteSuperChunk:
     case MessageType::kFlush:
       return false;
+    case MessageType::kRegisterNode:
+    case MessageType::kLeaseEndpoints:
+    case MessageType::kRegistryHeartbeat:
+    case MessageType::kRegistryLeave:
+    case MessageType::kFleetFetch:
+    case MessageType::kFleetUpdate:
+      // Control-plane ops belong to the registry; a node service only
+      // ever answers them with an error (slow lane is fine for that).
+      return false;
   }
   return false;
 }
@@ -247,6 +256,17 @@ Message NodeService::handle(const Message& request) {
         dump.spans = tracer.collect();
         return Message::response_to(request, obs::encode_span_dump(dump));
       }
+      case MessageType::kRegisterNode:
+      case MessageType::kLeaseEndpoints:
+      case MessageType::kRegistryHeartbeat:
+      case MessageType::kRegistryLeave:
+      case MessageType::kFleetFetch:
+      case MessageType::kFleetUpdate:
+        // Control-plane ops are served by a registry_server, not a node:
+        // a peer that dials a data endpoint with them is misconfigured.
+        return Message::error_to(
+            request, "service: control-plane op sent to a data node "
+                     "(dial the registry instead)");
     }
     return Message::error_to(request, "service: unknown operation");
   } catch (const std::exception& e) {

@@ -213,4 +213,129 @@ std::optional<Buffer> decode_read_response(ByteView body) {
   return payload;
 }
 
+namespace {
+
+// Fleet-view entries nest inside the lease reply, so the view codec is
+// split into writer/reader halves the top-level codecs share.
+
+/// Minimum wire bytes of one node entry: host length prefix + port +
+/// endpoint (an empty host is malformed anyway, but this only feeds the
+/// count() bound).
+constexpr std::size_t kMinNodeEntryBytes = 4 + 4 + 4;
+
+void write_fleet_view(WireWriter& w, const FleetView& view) {
+  w.u64(view.version);
+  w.u32(static_cast<std::uint32_t>(view.nodes.size()));
+  for (const auto& node : view.nodes) {
+    w.bytes(as_bytes(node.address.host));
+    w.u32(node.address.port);
+    w.u32(node.endpoint);
+  }
+}
+
+FleetView read_fleet_view(WireReader& r) {
+  FleetView view;
+  view.version = r.u64();
+  const std::uint32_t n = r.count(kMinNodeEntryBytes);
+  view.nodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    net::TcpNodeAddress node;
+    const ByteView host = r.bytes();
+    node.address.host.assign(host.begin(), host.end());
+    node.address.port = static_cast<std::uint16_t>(
+        r.u32() & 0xFFFF);
+    node.endpoint = r.u32();
+    view.nodes.push_back(std::move(node));
+  }
+  return view;
+}
+
+}  // namespace
+
+Buffer encode_fleet_view(const FleetView& view) {
+  WireWriter w(12 + view.nodes.size() * 32);
+  write_fleet_view(w, view);
+  return w.take();
+}
+
+FleetView decode_fleet_view(ByteView body) {
+  WireReader r(body);
+  FleetView view = read_fleet_view(r);
+  r.expect_done();
+  return view;
+}
+
+Buffer encode_register_node_request(const RegisterNodeRequest& req) {
+  WireWriter w(4 + req.host.size() + 12);
+  w.bytes(as_bytes(req.host));
+  w.u32(req.port);
+  w.u32(req.first_endpoint);
+  w.u32(req.num_endpoints);
+  return w.take();
+}
+
+RegisterNodeRequest decode_register_node_request(ByteView body) {
+  WireReader r(body);
+  RegisterNodeRequest req;
+  const ByteView host = r.bytes();
+  req.host.assign(host.begin(), host.end());
+  req.port = static_cast<std::uint16_t>(r.u32() & 0xFFFF);
+  req.first_endpoint = r.u32();
+  req.num_endpoints = r.u32();
+  r.expect_done();
+  return req;
+}
+
+Buffer encode_lease_grant(const LeaseGrant& grant) {
+  WireWriter w(12);
+  w.u64(grant.lease_id);
+  w.u32(grant.ttl_ms);
+  return w.take();
+}
+
+LeaseGrant decode_lease_grant(ByteView body) {
+  WireReader r(body);
+  LeaseGrant grant;
+  grant.lease_id = r.u64();
+  grant.ttl_ms = r.u32();
+  r.expect_done();
+  return grant;
+}
+
+Buffer encode_lease_endpoints_request(const LeaseEndpointsRequest& req) {
+  WireWriter w(5);
+  w.u32(req.num_endpoints);
+  w.u8(req.subscribe ? 1 : 0);
+  return w.take();
+}
+
+LeaseEndpointsRequest decode_lease_endpoints_request(ByteView body) {
+  WireReader r(body);
+  LeaseEndpointsRequest req;
+  req.num_endpoints = r.u32();
+  req.subscribe = r.u8() != 0;
+  r.expect_done();
+  return req;
+}
+
+Buffer encode_lease_endpoints_reply(const LeaseEndpointsReply& reply) {
+  WireWriter w(28 + reply.view.nodes.size() * 32);
+  w.u64(reply.grant.lease_id);
+  w.u32(reply.grant.ttl_ms);
+  w.u32(reply.endpoint_base);
+  write_fleet_view(w, reply.view);
+  return w.take();
+}
+
+LeaseEndpointsReply decode_lease_endpoints_reply(ByteView body) {
+  WireReader r(body);
+  LeaseEndpointsReply reply;
+  reply.grant.lease_id = r.u64();
+  reply.grant.ttl_ms = r.u32();
+  reply.endpoint_base = r.u32();
+  reply.view = read_fleet_view(r);
+  r.expect_done();
+  return reply;
+}
+
 }  // namespace sigma::service

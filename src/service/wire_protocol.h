@@ -11,9 +11,12 @@
 #include <utility>
 #include <vector>
 
+#include <string>
+
 #include "common/bytes.h"
 #include "common/fingerprint.h"
 #include "chunking/super_chunk.h"
+#include "net/tcp/socket.h"
 #include "node/dedup_node.h"
 
 namespace sigma::service {
@@ -84,5 +87,67 @@ Fingerprint decode_read_request(ByteView body);
 
 Buffer encode_read_response(const std::optional<Buffer>& payload);
 std::optional<Buffer> decode_read_response(ByteView body);
+
+// ---- Fleet registry bodies (control plane, src/ctrl/) ---------------------
+
+/// The registry's node map: every live daemon service endpoint with the
+/// address of the daemon hosting it, sorted by endpoint id (so a client
+/// wiring a Cluster from it gets a stable node order). `version` bumps on
+/// every membership change — join, clean leave, lease expiry.
+struct FleetView {
+  std::uint64_t version = 0;
+  std::vector<net::TcpNodeAddress> nodes;
+};
+
+Buffer encode_fleet_view(const FleetView& view);
+FleetView decode_fleet_view(ByteView body);
+
+/// kRegisterNode request: a daemon announces where it listens and which
+/// endpoint range its node services occupy.
+struct RegisterNodeRequest {
+  std::string host;
+  std::uint16_t port = 0;
+  net::EndpointId first_endpoint = 0;
+  std::uint32_t num_endpoints = 0;
+};
+
+Buffer encode_register_node_request(const RegisterNodeRequest& req);
+RegisterNodeRequest decode_register_node_request(ByteView body);
+
+/// Granted lease: the holder must heartbeat within `ttl_ms` or the
+/// registry expires the lease and drops it from the fleet view.
+struct LeaseGrant {
+  std::uint64_t lease_id = 0;
+  std::uint32_t ttl_ms = 0;
+};
+
+Buffer encode_lease_grant(const LeaseGrant& grant);
+LeaseGrant decode_lease_grant(ByteView body);
+
+/// kLeaseEndpoints request: a client asks for `num_endpoints` contiguous
+/// endpoint ids; `subscribe` asks the registry to push kFleetUpdate to
+/// the requesting endpoint on membership change.
+struct LeaseEndpointsRequest {
+  std::uint32_t num_endpoints = 0;
+  bool subscribe = false;
+};
+
+Buffer encode_lease_endpoints_request(const LeaseEndpointsRequest& req);
+LeaseEndpointsRequest decode_lease_endpoints_request(ByteView body);
+
+/// kLeaseEndpoints reply: the grant, the leased base, and the fleet view
+/// at grant time (the client wires its node map from it).
+struct LeaseEndpointsReply {
+  LeaseGrant grant;
+  net::EndpointId endpoint_base = 0;
+  FleetView view;
+};
+
+Buffer encode_lease_endpoints_reply(const LeaseEndpointsReply& reply);
+LeaseEndpointsReply decode_lease_endpoints_reply(ByteView body);
+
+// kRegistryHeartbeat / kRegistryLeave requests carry encode_u64(lease_id);
+// their replies and kFleetFetch's request are empty bodies. kFleetFetch's
+// reply and the kFleetUpdate push body are encode_fleet_view().
 
 }  // namespace sigma::service

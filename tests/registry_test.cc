@@ -1,0 +1,365 @@
+// Fleet registry acceptance: the control plane that kills the
+// id-collision bug class at the root. Daemons register endpoint ranges
+// (overlaps refused at the source), clients lease ranges instead of
+// guessing bases, membership changes are pushed to subscribers, and the
+// data plane wired through the registry is bit-identical to the
+// hand-written static map. Plus the failure modes: a dead registry
+// degrades the fleet gracefully (cached view, backups keep verifying),
+// and a heartbeat lapse expires the lease and the pushed view drops it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ctrl/registry_client.h"
+#include "ctrl/registry_server.h"
+#include "net/rpc.h"
+#include "server/node_server.h"
+#include "workload/generators.h"
+
+namespace sigma {
+namespace {
+
+using namespace std::chrono_literals;
+
+ctrl::RegistryClientConfig client_config(const ctrl::RegistryServer& reg) {
+  ctrl::RegistryClientConfig cfg;
+  cfg.registry = {"127.0.0.1", reg.port()};
+  return cfg;
+}
+
+/// Spin until `pred` holds or `timeout` elapses; returns the verdict.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds timeout = 10s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(10ms);
+  }
+  return true;
+}
+
+TEST(RegistryTest, RegisterLeaseFetchRoundTrip) {
+  ctrl::RegistryServer reg({});
+
+  ctrl::RegistryClient daemon(client_config(reg));
+  const auto grant = daemon.register_node({"127.0.0.1", 7001}, 100, 2);
+  EXPECT_GT(grant.lease_id, 0u);
+  EXPECT_GT(grant.ttl_ms, 0u);
+  EXPECT_EQ(reg.node_lease_count(), 1u);
+
+  // The view expands the range into per-endpoint entries.
+  const auto view = reg.fleet_view();
+  ASSERT_EQ(view.nodes.size(), 2u);
+  EXPECT_EQ(view.nodes[0].endpoint, 100u);
+  EXPECT_EQ(view.nodes[1].endpoint, 101u);
+  EXPECT_EQ(view.nodes[0].address.port, 7001u);
+  EXPECT_GT(view.version, 0u);
+
+  // A client lease starts at the well-known client base — no hand-picked
+  // base anywhere — and carries the same view.
+  ctrl::RegistryClient client(client_config(reg));
+  const auto lease = client.lease_endpoints(8, nullptr);
+  EXPECT_EQ(lease.endpoint_base, net::kClientEndpointBase);
+  EXPECT_EQ(lease.view.nodes.size(), 2u);
+  EXPECT_EQ(reg.client_lease_count(), 1u);
+
+  const auto fetched = client.fetch_fleet();
+  EXPECT_EQ(fetched.version, view.version);
+  EXPECT_EQ(fetched.nodes.size(), view.nodes.size());
+}
+
+TEST(RegistryTest, OverlappingRegistrationRefusedIdenticalReplaces) {
+  ctrl::RegistryServer reg({});
+
+  ctrl::RegistryClient a(client_config(reg));
+  a.register_node({"127.0.0.1", 7001}, 100, 4);  // [100..103]
+  const auto v1 = reg.fleet_view().version;
+
+  // A different daemon claiming an overlapping range is refused up
+  // front — this is the whole point of the registry.
+  ctrl::RegistryClient b(client_config(reg));
+  try {
+    b.register_node({"127.0.0.1", 7002}, 102, 4);  // [102..105] overlaps
+    FAIL() << "expected overlap refusal";
+  } catch (const net::RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("overlaps"), std::string::npos);
+  }
+  EXPECT_EQ(reg.node_lease_count(), 1u);
+  EXPECT_EQ(reg.fleet_view().version, v1);  // refusal does not churn
+
+  // Identical re-registration is a daemon restart: the lease is replaced
+  // in place, the fleet membership did not change.
+  ctrl::RegistryClient a2(client_config(reg));
+  a2.register_node({"127.0.0.1", 7001}, 100, 4);
+  EXPECT_EQ(reg.node_lease_count(), 1u);
+  EXPECT_EQ(reg.fleet_view().version, v1);
+
+  // A disjoint range joins fine and bumps the view.
+  b.register_node({"127.0.0.1", 7002}, 104, 4);  // [104..107]
+  EXPECT_EQ(reg.node_lease_count(), 2u);
+  EXPECT_GT(reg.fleet_view().version, v1);
+  EXPECT_EQ(reg.fleet_view().nodes.size(), 8u);
+}
+
+TEST(RegistryTest, BadRangesRefused) {
+  ctrl::RegistryServer reg({});
+  ctrl::RegistryClient daemon(client_config(reg));
+  // Shadowing the registry's own endpoint id.
+  EXPECT_THROW(daemon.register_node({"127.0.0.1", 7001}, 0, 4),
+               net::RpcError);
+  // Reaching into the client band.
+  EXPECT_THROW(daemon.register_node({"127.0.0.1", 7001},
+                                    net::kClientEndpointBase - 1, 2),
+               net::RpcError);
+  EXPECT_EQ(reg.node_lease_count(), 0u);
+}
+
+TEST(RegistryTest, ClientLeasesAreDisjointAndFreedRangesReused) {
+  ctrl::RegistryServer reg({});
+
+  auto a = std::make_unique<ctrl::RegistryClient>(client_config(reg));
+  ctrl::RegistryClient b(client_config(reg));
+  const auto lease_a = a->lease_endpoints(16, nullptr);
+  const auto lease_b = b.lease_endpoints(16, nullptr);
+  EXPECT_EQ(lease_a.endpoint_base, net::kClientEndpointBase);
+  EXPECT_EQ(lease_b.endpoint_base, net::kClientEndpointBase + 16);
+  EXPECT_EQ(reg.client_lease_count(), 2u);
+
+  // A clean leave frees the range; the next lease reuses it (first fit),
+  // so long-running fleets do not leak endpoint space.
+  a.reset();
+  EXPECT_EQ(reg.client_lease_count(), 1u);
+  ctrl::RegistryClient c(client_config(reg));
+  const auto lease_c = c.lease_endpoints(8, nullptr);
+  EXPECT_EQ(lease_c.endpoint_base, net::kClientEndpointBase);
+}
+
+TEST(RegistryTest, HeartbeatLapseExpiresLeaseAndPushesUpdatedView) {
+  ctrl::RegistryServerConfig cfg;
+  cfg.lease_ttl_ms = 300;
+  ctrl::RegistryServer reg(cfg);
+
+  // The daemon never heartbeats (cadence far past the test's horizon):
+  // its lease must lapse on its own.
+  ctrl::RegistryClientConfig daemon_cfg = client_config(reg);
+  daemon_cfg.heartbeat_interval_ms = 3'600'000;
+  ctrl::RegistryClient daemon(daemon_cfg);
+  daemon.register_node({"127.0.0.1", 7001}, 100, 2);
+  EXPECT_EQ(reg.node_lease_count(), 1u);
+
+  // A subscribed client (default cadence keeps its own lease alive) must
+  // be TOLD the daemon fell out — membership changes are pushed, not
+  // polled.
+  ctrl::RegistryClient client(client_config(reg));
+  const auto lease = client.lease_endpoints(
+      1, [](const service::FleetView&) {});
+  EXPECT_EQ(lease.view.nodes.size(), 2u);
+
+  EXPECT_TRUE(eventually([&] { return reg.node_lease_count() == 0; }));
+  EXPECT_TRUE(eventually([&] {
+    return client.updates_received() > 0 &&
+           client.latest_view().nodes.empty();
+  }));
+  const obs::MetricsSnapshot snap = reg.metrics_snapshot();
+  const auto* expiries = snap.find_counter("registry.lease_expiries");
+  ASSERT_NE(expiries, nullptr);
+  EXPECT_GE(*expiries, 1u);
+}
+
+TEST(RegistryTest, CleanLeavePushesUpdatedView) {
+  ctrl::RegistryServer reg({});
+
+  auto daemon = std::make_unique<ctrl::RegistryClient>(client_config(reg));
+  daemon->register_node({"127.0.0.1", 7001}, 100, 2);
+
+  ctrl::RegistryClient client(client_config(reg));
+  client.lease_endpoints(1, [](const service::FleetView&) {});
+
+  daemon.reset();  // destructor leaves cleanly
+  EXPECT_EQ(reg.node_lease_count(), 0u);
+  EXPECT_TRUE(eventually([&] {
+    return client.updates_received() > 0 &&
+           client.latest_view().nodes.empty();
+  }));
+}
+
+TEST(RegistryTest, NodeServerRegistersOnStartupAndLeavesOnShutdown) {
+  ctrl::RegistryServer reg({});
+
+  server::NodeServerConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.registry = net::TcpAddress{"127.0.0.1", reg.port()};
+  auto server = std::make_unique<server::NodeServer>(cfg);
+  ASSERT_NE(server->registry_client(), nullptr);
+  EXPECT_GT(server->registry_client()->lease_id(), 0u);
+  EXPECT_EQ(reg.node_lease_count(), 1u);
+  const auto view = reg.fleet_view();
+  ASSERT_EQ(view.nodes.size(), 2u);
+  EXPECT_EQ(view.nodes[0].endpoint, net::kServiceEndpointBase);
+  EXPECT_EQ(view.nodes[0].address.port, server->port());
+
+  server.reset();
+  EXPECT_EQ(reg.node_lease_count(), 0u);
+}
+
+TEST(RegistryTest, NodeServerRefusesBadEndpointRangesAtConstruction) {
+  {
+    server::NodeServerConfig cfg;
+    cfg.first_endpoint = net::kRegistryEndpoint;  // shadows the registry
+    EXPECT_THROW(server::NodeServer{cfg}, std::invalid_argument);
+  }
+  {
+    server::NodeServerConfig cfg;
+    cfg.first_endpoint = net::kClientEndpointBase - 1;
+    cfg.num_nodes = 2;  // [base-1 .. base] reaches the client band
+    EXPECT_THROW(server::NodeServer{cfg}, std::invalid_argument);
+  }
+}
+
+TEST(RegistryTest, ClusterRefusesNodeEndpointInsideClientRange) {
+  // The mirror-image collision: a wired node map whose service id lands
+  // at (or above) this client's endpoint base.
+  ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.transport.mode = TransportMode::kTcp;
+  cfg.transport.tcp_nodes = {
+      {{"127.0.0.1", 7001}, net::kClientEndpointBase}};
+  EXPECT_THROW(Cluster{cfg}, std::invalid_argument);
+}
+
+/// A fleet whose daemons found each other through a registry: the
+/// registry, two 2-node daemons registered with it, and a ClusterConfig
+/// that discovers everything via --registry (no tcp_nodes, no base).
+class RegistryFleet {
+ public:
+  explicit RegistryFleet(std::uint32_t lease_ttl_ms = 5000) {
+    ctrl::RegistryServerConfig rc;
+    rc.lease_ttl_ms = lease_ttl_ms;
+    registry_ = std::make_unique<ctrl::RegistryServer>(rc);
+    for (std::size_t d = 0; d < 2; ++d) {
+      server::NodeServerConfig cfg;
+      cfg.num_nodes = 2;
+      cfg.first_endpoint =
+          net::kServiceEndpointBase + static_cast<net::EndpointId>(2 * d);
+      cfg.registry = net::TcpAddress{"127.0.0.1", registry_->port()};
+      servers_.push_back(std::make_unique<server::NodeServer>(cfg));
+    }
+  }
+
+  ClusterConfig cluster_config(RoutingScheme scheme) const {
+    ClusterConfig cfg;
+    cfg.num_nodes = 4;  // overwritten by the lease reply
+    cfg.scheme = scheme;
+    cfg.super_chunk_bytes = 64 * 1024;
+    cfg.transport.mode = TransportMode::kTcp;
+    cfg.transport.rpc_timeout_ms = 20000;
+    cfg.transport.registry = net::TcpAddress{"127.0.0.1", registry_->port()};
+    return cfg;
+  }
+
+  ctrl::RegistryServer& registry() { return *registry_; }
+  void kill_registry() { registry_.reset(); }
+
+ private:
+  std::unique_ptr<ctrl::RegistryServer> registry_;
+  std::vector<std::unique_ptr<server::NodeServer>> servers_;
+};
+
+Dataset small_linux_trace() {
+  LinuxWorkloadConfig cfg = LinuxWorkloadConfig::scaled(0.04);
+  cfg.versions = 3;
+  LinuxGenerator gen(cfg);
+  const auto chunker = make_chunker(ChunkingScheme::kStatic, 4096);
+  return materialize_dataset("linux-small", gen.content(), *chunker);
+}
+
+class RegistrySchemeIdentity
+    : public ::testing::TestWithParam<RoutingScheme> {};
+
+TEST_P(RegistrySchemeIdentity, RegistryWiringMatchesDirectReport) {
+  // The control plane must be invisible to the data plane: a cluster
+  // wired through the registry (leased base, discovered node map)
+  // produces exactly the report of a direct-call cluster — same bytes,
+  // same Fig. 7 probe counts — for every routing scheme.
+  const RoutingScheme scheme = GetParam();
+  const Dataset trace = small_linux_trace();
+
+  ClusterConfig direct_cfg;
+  direct_cfg.num_nodes = 4;
+  direct_cfg.scheme = scheme;
+  direct_cfg.super_chunk_bytes = 64 * 1024;
+  Cluster direct(direct_cfg);
+  direct.backup_dataset(trace);
+  direct.flush();
+  const auto d = direct.report();
+
+  RegistryFleet fleet;
+  Cluster leased(fleet.cluster_config(scheme));
+  EXPECT_EQ(leased.size(), 4u);
+  EXPECT_EQ(leased.client_endpoint_base(), net::kClientEndpointBase);
+  ASSERT_TRUE(leased.fleet_view().has_value());
+  EXPECT_EQ(leased.fleet_view()->nodes.size(), 4u);
+  leased.backup_dataset(trace);
+  leased.flush();
+
+  const auto t = leased.report();
+  EXPECT_EQ(d.logical_bytes, t.logical_bytes);
+  EXPECT_EQ(d.physical_bytes, t.physical_bytes);
+  EXPECT_EQ(d.node_usage, t.node_usage);
+  EXPECT_EQ(d.messages.pre_routing, t.messages.pre_routing);
+  EXPECT_EQ(d.messages.after_routing, t.messages.after_routing);
+  EXPECT_DOUBLE_EQ(d.dedup_ratio(), t.dedup_ratio());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, RegistrySchemeIdentity,
+    ::testing::Values(RoutingScheme::kSigma, RoutingScheme::kStateless,
+                      RoutingScheme::kStateful,
+                      RoutingScheme::kExtremeBinning,
+                      RoutingScheme::kChunkDht));
+
+TEST(RegistryTest, RegistryDeathMidBackupDegradesGracefully) {
+  // The registry is a discovery service, not a dependency: killing it
+  // after the cluster is wired must not perturb a single byte of the
+  // backup — and the cluster must REPORT the degradation.
+  const Dataset trace = small_linux_trace();
+
+  ClusterConfig direct_cfg;
+  direct_cfg.num_nodes = 4;
+  direct_cfg.scheme = RoutingScheme::kSigma;
+  direct_cfg.super_chunk_bytes = 64 * 1024;
+  Cluster direct(direct_cfg);
+  direct.backup_dataset(trace);
+  direct.flush();
+  const auto d = direct.report();
+
+  RegistryFleet fleet(/*lease_ttl_ms=*/300);  // fast heartbeats
+  Cluster leased(fleet.cluster_config(RoutingScheme::kSigma));
+  EXPECT_TRUE(leased.registry_healthy());
+  const auto cached = leased.fleet_view();
+  ASSERT_TRUE(cached.has_value());
+
+  fleet.kill_registry();
+
+  // The cached view survives, heartbeats flag the outage...
+  EXPECT_TRUE(eventually([&] { return !leased.registry_healthy(); }));
+  EXPECT_EQ(leased.fleet_view()->version, cached->version);
+
+  // ...and the data plane never noticed: bit-identical report.
+  leased.backup_dataset(trace);
+  leased.flush();
+  const auto t = leased.report();
+  EXPECT_EQ(d.logical_bytes, t.logical_bytes);
+  EXPECT_EQ(d.physical_bytes, t.physical_bytes);
+  EXPECT_EQ(d.node_usage, t.node_usage);
+  EXPECT_EQ(d.messages.pre_routing, t.messages.pre_routing);
+  EXPECT_EQ(d.messages.after_routing, t.messages.after_routing);
+}
+
+}  // namespace
+}  // namespace sigma

@@ -490,9 +490,11 @@ TEST(TcpTransportTest, CollidingClientEndpointIsRefusedNotHijacked) {
 TEST(TcpTransportTest, StaleRouteIsTakenOverAfterSilentWindow) {
   // An asymmetric connection drop (the server never sees FIN/RST) leaves
   // the learned route pointing at a half-open connection. A new
-  // connection presenting the same endpoint id must take the route over
-  // once the old one has been silent past route_stale_ms — a re-dialing
-  // client is locked out for at most the stale window, never forever.
+  // connection presenting the same endpoint id must claim it once the
+  // old one has been silent past route_stale_ms — a re-dialing client is
+  // locked out for at most the stale window, never forever. Depending on
+  // loop timing the stale route is either taken over on B's dial-in or
+  // already reclaimed by the periodic sweep; both count.
   TcpTransportConfig server_cfg;
   server_cfg.listen = TcpAddress{"127.0.0.1", 0};
   server_cfg.endpoint_base = kServiceEndpointBase;
@@ -523,7 +525,61 @@ TEST(TcpTransportTest, StaleRouteIsTakenOverAfterSilentWindow) {
   RpcEndpoint rpc_b(*client_b);
   EXPECT_EQ(rpc_b.call_sync(echo, MessageType::kFlush, Buffer{2}, 5000ms),
             Buffer{2});
-  EXPECT_GE(server.tcp_stats().route_takeovers, 1u);
+  const auto stats = server.tcp_stats();
+  EXPECT_GE(stats.route_takeovers + stats.route_expired, 1u);
+}
+
+TEST(TcpTransportTest, StaleRouteIsSweptWithoutAColliderDialingIn) {
+  // The kill -> re-lease regression: client A holds an endpoint id, goes
+  // permanently silent (its connection stays open — the half-open-peer
+  // shape the server cannot distinguish from a live-but-idle one), and
+  // NOBODY collides with its id for a while. Before the periodic sweep,
+  // the learned route lingered until a collider happened to dial in; now
+  // the sweep reclaims it on its own, so a client B re-leasing the same
+  // endpoint range later starts clean — no conflict, no takeover, just a
+  // fresh route.
+  TcpTransportConfig server_cfg;
+  server_cfg.listen = TcpAddress{"127.0.0.1", 0};
+  server_cfg.endpoint_base = kServiceEndpointBase;
+  server_cfg.route_stale_ms = 200;
+  TcpTransport server(server_cfg);
+  const EndpointId echo = server.register_endpoint([&](Message&& m) {
+    if (m.kind == MessageKind::kRequest) {
+      server.send(Message::response_to(m, Buffer(m.body)));
+    }
+  });
+
+  auto make_client = [&] {
+    TcpTransportConfig cfg;
+    cfg.endpoint_base = kClientEndpointBase;  // same leased range
+    cfg.remote_endpoints.emplace(echo,
+                                 TcpAddress{"127.0.0.1", server.listen_port()});
+    return std::make_unique<TcpTransport>(cfg);
+  };
+
+  auto client_a = make_client();
+  RpcEndpoint rpc_a(*client_a);
+  EXPECT_EQ(rpc_a.call_sync(echo, MessageType::kFlush, Buffer{1}, 5000ms),
+            Buffer{1});
+
+  // A goes silent but stays connected. The sweep alone must reclaim the
+  // route — no second client has dialed in yet.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (server.tcp_stats().route_expired == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(25ms);
+  }
+  EXPECT_GE(server.tcp_stats().route_expired, 1u);
+
+  // B re-leases A's endpoint range: a clean start, not a collision and
+  // not a takeover.
+  auto client_b = make_client();
+  RpcEndpoint rpc_b(*client_b);
+  EXPECT_EQ(rpc_b.call_sync(echo, MessageType::kFlush, Buffer{2}, 5000ms),
+            Buffer{2});
+  const auto stats = server.tcp_stats();
+  EXPECT_EQ(stats.route_conflicts, 0u);
+  EXPECT_EQ(stats.route_takeovers, 0u);
 }
 
 TEST(TcpTransportTest, ReconnectsAfterServerRestart) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "ctrl/registry_client.h"
 #include "obs/metrics_render.h"
 #include "obs/metrics_wire.h"
 #include "fleet_scrape.h"
@@ -31,10 +32,12 @@ namespace {
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "fleet_stats: " << error << "\n";
   std::cerr << "usage: fleet_stats --nodes host:port[:endpoint],...\n"
-            << "                   [--json] [--timeout-ms T]\n"
+            << "                   [--registry H:P] [--json] [--timeout-ms T]\n"
             << "  --nodes MAP    the fleet's node map (same syntax as the\n"
             << "                 backup clients); one scrape per distinct\n"
             << "                 host:port\n"
+            << "  --registry H:P fetch the node map from a fleet registry\n"
+            << "                 instead of writing one by hand\n"
             << "  --json         machine-readable output (per-daemon +\n"
             << "                 merged)\n"
             << "  --timeout-ms T per-scrape RPC timeout (default 5000)\n";
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   using namespace sigma;
 
   std::string nodes_csv;
+  std::string registry_spec;
   bool json = false;
   std::uint32_t timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
@@ -57,6 +61,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--nodes") {
       nodes_csv = value();
+    } else if (arg == "--registry") {
+      registry_spec = value();
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--timeout-ms") {
@@ -72,9 +78,31 @@ int main(int argc, char** argv) {
       usage("unknown option " + arg);
     }
   }
-  if (nodes_csv.empty()) usage("--nodes is required");
+  if (nodes_csv.empty() == registry_spec.empty()) {
+    usage("exactly one of --nodes / --registry is required");
+  }
 
   try {
+    if (!registry_spec.empty()) {
+      // Ask the registry for the live fleet view and scrape that — the
+      // same daemon set a --registry client would be wired against.
+      ctrl::RegistryClientConfig rc;
+      rc.registry = net::parse_tcp_address(registry_spec);
+      rc.rpc_timeout_ms = timeout_ms;
+      ctrl::RegistryClient registry(rc);
+      const service::FleetView view = registry.fetch_fleet();
+      if (view.nodes.empty()) {
+        std::cerr << "fleet_stats: registry at " << registry_spec
+                  << " has no registered node daemons (view v"
+                  << view.version << ")\n";
+        return 1;
+      }
+      for (const auto& node : view.nodes) {
+        if (!nodes_csv.empty()) nodes_csv += ',';
+        nodes_csv += node.address.to_string() + ':' +
+                     std::to_string(node.endpoint);
+      }
+    }
     struct DaemonStats {
       std::string address;
       net::EndpointId endpoint;

@@ -75,7 +75,8 @@ void handle_trace_dump(int) {
             << "                   [--container-mb MB] [--approximate]\n"
             << "                   [--backend memory|file] [--data-dir DIR]\n"
             << "                   [--no-fsync] [--trace-sample N]\n"
-            << "                   [--trace-dump FILE]\n"
+            << "                   [--trace-dump FILE] [--registry H:P]\n"
+            << "                   [--registry-heartbeat-ms T]\n"
             << "  --host H             listen address (default 127.0.0.1)\n"
             << "  --port P             listen port; 0 picks one (default 0)\n"
             << "  --nodes N            dedup nodes to host (default 1)\n"
@@ -105,6 +106,13 @@ void handle_trace_dump(int) {
             << "                       recorder (default\n"
             << "                       sigma-trace.<pid>.bin); merge with\n"
             << "                       fleet_trace --local\n"
+            << "  --registry H:P       fleet registry to register this\n"
+            << "                       daemon's endpoint range with (see\n"
+            << "                       registry_server); clients then find\n"
+            << "                       the fleet with --registry instead of\n"
+            << "                       a hand-written node map\n"
+            << "  --registry-heartbeat-ms T  heartbeat cadence override\n"
+            << "                       (default: a third of the lease TTL)\n"
             << "signals: SIGUSR1 dumps the metrics snapshot to stderr;\n"
             << "         SIGUSR2 dumps the trace rings to --trace-dump;\n"
             << "         SIGINT/SIGTERM shut down cleanly\n";
@@ -168,6 +176,15 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(number(0xFFFFFFFFul)));
     } else if (arg == "--trace-dump") {
       trace_dump_path = value();
+    } else if (arg == "--registry") {
+      try {
+        config.registry = net::parse_tcp_address(value());
+      } catch (const net::SocketError& e) {
+        usage(e.what());
+      }
+    } else if (arg == "--registry-heartbeat-ms") {
+      config.registry_heartbeat_ms =
+          static_cast<std::uint32_t>(number(3600000));
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else {
@@ -209,6 +226,11 @@ int main(int argc, char** argv) {
                   << r.chunks_recovered << " skipped="
                   << r.containers_skipped << "\n";
       }
+    }
+    if (const ctrl::RegistryClient* rc = server.registry_client()) {
+      std::cout << "REGISTERED registry=" << config.registry->to_string()
+                << " lease=" << rc->lease_id()
+                << " ttl_ms=" << rc->ttl_ms() << "\n";
     }
     std::cout << "READY port=" << server.port() << " endpoints="
               << server.endpoint(0) << ".."
